@@ -1,0 +1,139 @@
+// Package veriopt's root benchmark harness: one testing.B benchmark
+// per paper table and figure (see DESIGN.md §4 for the index). The
+// expensive shared artifacts — corpus, trained curriculum, baselines
+// — are built once per benchmark binary; each iteration then
+// regenerates the table or figure from them, which is the
+// inference+verification work the paper's artifact measures.
+package veriopt
+
+import (
+	"sync"
+	"testing"
+
+	"veriopt/internal/dataset"
+	"veriopt/internal/experiments"
+	"veriopt/internal/instcombine"
+	"veriopt/internal/pipeline"
+)
+
+var (
+	ctxOnce sync.Once
+	ctx     *experiments.Context
+	ctxErr  error
+)
+
+// benchContext builds the shared reduced-scale context (corpus +
+// curriculum + baselines).
+func benchContext(b *testing.B) *experiments.Context {
+	b.Helper()
+	ctxOnce.Do(func() {
+		cfg := experiments.DefaultConfig()
+		cfg.CorpusN = 150
+		cfg.Stage.Stage1Steps = 8
+		cfg.Stage.Stage2Steps = 60
+		cfg.Stage.Stage3Steps = 40
+		ctx = experiments.NewContext(cfg)
+		_, ctxErr = ctx.Pipeline()
+	})
+	if ctxErr != nil {
+		b.Fatal(ctxErr)
+	}
+	return ctx
+}
+
+func benchExperiment(b *testing.B, id string) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Run(id, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Text == "" {
+			b.Fatal("empty experiment output")
+		}
+	}
+}
+
+// BenchmarkTable1BaselineVerdicts regenerates Table I (verdict
+// categories of the untrained base model).
+func BenchmarkTable1BaselineVerdicts(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2VeriOptVerdicts regenerates Table II
+// (Model-Correctness and Model-Latency verdicts).
+func BenchmarkTable2VeriOptVerdicts(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3OutcomesVsO0 regenerates Table III (Better/Worse/Tie
+// vs -O0 across the three metrics).
+func BenchmarkTable3OutcomesVsO0(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkFig4TrainingDynamics regenerates Figure 4 (reward curves
+// with EMA smoothing).
+func BenchmarkFig4TrainingDynamics(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5BaselineComparison regenerates Figure 5 (SFT baselines
+// of increasing scale + LLM-Compiler analogue vs LLM-VeriOpt).
+func BenchmarkFig5BaselineComparison(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6VsInstCombine regenerates Figure 6 (pairwise
+// distributions against instcombine and the hybrid fallback gain).
+func BenchmarkFig6VsInstCombine(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7Ablation regenerates Figure 7 (the four-stage
+// curriculum ablation).
+func BenchmarkFig7Ablation(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8to12Examples regenerates the qualitative examples of
+// Figures 8-12.
+func BenchmarkFig8to12Examples(b *testing.B) { benchExperiment(b, "fig8_12") }
+
+// BenchmarkAblationVerifierPlacement runs the verifier-placement
+// ablation (DESIGN.md §6).
+func BenchmarkAblationVerifierPlacement(b *testing.B) { benchExperiment(b, "ablation_verifier") }
+
+// BenchmarkDatasetGeneration measures corpus synthesis + labeling +
+// verification-filtering throughput.
+func BenchmarkDatasetGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.Generate(dataset.Config{Seed: int64(i + 1), N: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInstCombinePass measures the reference pass on the corpus.
+func BenchmarkInstCombinePass(b *testing.B) {
+	samples, err := dataset.Generate(dataset.Config{Seed: 3, N: 40, SkipVerify: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range samples {
+			instcombine.Run(s.O0)
+		}
+	}
+}
+
+// BenchmarkGreedyInferenceWithVerification measures the paper's
+// deployment path: greedy generation plus full verification with
+// fallback, per function.
+func BenchmarkGreedyInferenceWithVerification(b *testing.B) {
+	c := benchContext(b)
+	res, err := c.Pipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	val, err := c.Val()
+	if err != nil {
+		b.Fatal(err)
+	}
+	vo := pipeline.EvalOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := pipeline.Evaluate(res.Latency, val, false, vo)
+		if rep.Total() != len(val) {
+			b.Fatal("evaluation lost samples")
+		}
+	}
+}

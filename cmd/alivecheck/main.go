@@ -1,0 +1,61 @@
+// Command alivecheck translation-validates a transformed function
+// against its source, in the style of alive-tv: it prints the verdict
+// and, for semantic errors, the counterexample diagnostic.
+//
+// Usage:
+//
+//	alivecheck source.ll target.ll
+//
+// Exit status: 0 equivalent, 1 semantic/syntax error, 2 inconclusive,
+// 3 usage or source errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"veriopt/internal/alive"
+)
+
+func main() {
+	paths := flag.Int("paths", 0, "max CFG paths (0 = default)")
+	budget := flag.Int("budget", 0, "SAT conflict budget (0 = default)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: alivecheck [-paths n] [-budget n] source.ll target.ll")
+		os.Exit(3)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(3)
+	}
+	tgt, err := os.ReadFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(3)
+	}
+	opts := alive.DefaultOptions()
+	if *paths > 0 {
+		opts.MaxPaths = *paths
+	}
+	if *budget > 0 {
+		opts.SolverBudget = *budget
+	}
+	res, err := alive.VerifyText(string(src), string(tgt), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(3)
+	}
+	switch res.Verdict {
+	case alive.Equivalent:
+		fmt.Println("Transformation seems to be correct!")
+	case alive.SemanticError, alive.SyntaxError:
+		fmt.Println(res.Diag)
+		os.Exit(1)
+	case alive.Inconclusive:
+		fmt.Println(res.Diag)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,97 @@
+// Command irtool parses, verifies, optimizes, and interprets IR
+// files.
+//
+// Usage:
+//
+//	irtool print   file.ll           # parse + canonical print
+//	irtool verify  file.ll           # structural verification
+//	irtool opt     file.ll           # run the instcombine pass
+//	irtool cost    file.ll           # latency / icount / size metrics
+//	irtool interp  file.ll fn args   # interpret a function on inputs
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"veriopt/internal/costmodel"
+	"veriopt/internal/instcombine"
+	"veriopt/internal/interp"
+	"veriopt/internal/ir"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: irtool print|verify|opt|cost|interp <file.ll> [fn args...]")
+	}
+	cmd, path := args[0], args[1]
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	m, err := ir.Parse(string(src))
+	if err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	switch cmd {
+	case "print":
+		fmt.Print(ir.Print(m))
+	case "verify":
+		if err := ir.VerifyModule(m); err != nil {
+			return err
+		}
+		fmt.Println("OK")
+	case "opt":
+		for i, f := range m.Funcs {
+			m.Funcs[i] = instcombine.Run(f)
+		}
+		fmt.Print(ir.Print(m))
+	case "cost":
+		for _, f := range m.Funcs {
+			ms := costmodel.Measure(f)
+			fmt.Printf("@%s: latency=%d icount=%d size=%d\n", f.Name(), ms.Latency, ms.ICount, ms.Size)
+		}
+	case "interp":
+		if len(args) < 3 {
+			return fmt.Errorf("interp needs a function name")
+		}
+		f := m.Func(args[2])
+		if f == nil {
+			return fmt.Errorf("no function @%s", args[2])
+		}
+		var vals []interp.Val
+		for _, a := range args[3:] {
+			v, err := strconv.ParseInt(a, 0, 64)
+			if err != nil {
+				return fmt.Errorf("argument %q: %w", a, err)
+			}
+			vals = append(vals, interp.V(uint64(v)))
+		}
+		out, err := interp.Run(f, vals, interp.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		switch {
+		case out.UB:
+			fmt.Printf("undefined behavior: %s\n", out.UBReason)
+		case out.Ret.Poison:
+			fmt.Println("result: poison")
+		default:
+			fmt.Printf("result: %d (0x%x)\n", int64(out.Ret.Bits), out.Ret.Bits)
+		}
+		for _, cobs := range out.Calls {
+			fmt.Printf("observed call @%s(%v)\n", cobs.Callee, cobs.Args)
+		}
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+// Command veriopt is the main CLI: it generates corpora, trains the
+// four-model curriculum, evaluates models, and regenerates every
+// table and figure of the paper.
+//
+// Usage:
+//
+//	veriopt experiments [-run id|all] [-n corpus] [-seed s] [flags]
+//	veriopt train       [-n corpus] [-seed s] [flags]
+//	veriopt dataset     [-n corpus] [-seed s] [-out dir]
+//	veriopt list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/dataset"
+	"veriopt/internal/experiments"
+	"veriopt/internal/instcombine"
+	"veriopt/internal/ir"
+	"veriopt/internal/pipeline"
+	"veriopt/internal/policy"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "experiments":
+		err = cmdExperiments(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "dataset":
+		err = cmdDataset(os.Args[2:])
+	case "optimize":
+		err = cmdOptimize(os.Args[2:])
+	case "list":
+		fmt.Println("available experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Println("  " + id)
+		}
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `veriopt — LLM-VeriOpt reproduction driver
+
+subcommands:
+  experiments  regenerate paper tables/figures (-run table1|...|all)
+  train        run the four-stage curriculum and print stage summaries
+               (-save model.json persists the Model-Latency policy)
+  optimize     optimize a .ll file with a trained model + verifier fallback
+  dataset      generate a corpus and write .ll files
+  list         list experiment ids`)
+}
+
+func commonFlags(fs *flag.FlagSet) (*int, *int64, *int, *int, *int) {
+	n := fs.Int("n", 240, "corpus size (train+validation)")
+	seed := fs.Int64("seed", 42, "random seed")
+	s1 := fs.Int("stage1", 10, "Model Zero GRPO steps")
+	s2 := fs.Int("stage2", 120, "Model-Correctness GRPO steps")
+	s3 := fs.Int("stage3", 80, "Model-Latency GRPO steps")
+	return n, seed, s1, s2, s3
+}
+
+func buildContext(n int, seed int64, s1, s2, s3 int) *experiments.Context {
+	cfg := experiments.DefaultConfig()
+	cfg.CorpusN = n
+	cfg.Seed = seed
+	cfg.Stage.Stage1Steps = s1
+	cfg.Stage.Stage2Steps = s2
+	cfg.Stage.Stage3Steps = s3
+	ctx := experiments.NewContext(cfg)
+	ctx.Progress = func(msg string) {
+		fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), msg)
+	}
+	return ctx
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	run := fs.String("run", "all", "experiment id or 'all'")
+	n, seed, s1, s2, s3 := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := buildContext(*n, *seed, *s1, *s2, *s3)
+	ids := experiments.IDs()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		t0 := time.Now()
+		out, err := experiments.Run(strings.TrimSpace(id), ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Render(out))
+		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	save := fs.String("save", "", "write the trained Model-Latency policy to this JSON file")
+	n, seed, s1, s2, s3 := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := buildContext(*n, *seed, *s1, *s2, *s3)
+	res, err := ctx.Pipeline()
+	if err != nil {
+		return err
+	}
+	val, err := ctx.Val()
+	if err != nil {
+		return err
+	}
+	vo := pipeline.EvalOptions()
+	rows := []struct {
+		name string
+		rep  *pipeline.Report
+	}{
+		{"base", pipeline.Evaluate(res.Base, val, false, vo)},
+		{"model-zero", pipeline.Evaluate(res.ModelZero, val, false, vo)},
+		{"warm-up", pipeline.Evaluate(res.WarmUp, val, true, vo)},
+		{"correctness", pipeline.Evaluate(res.Correctness, val, true, vo)},
+		{"latency", pipeline.Evaluate(res.Latency, val, false, vo)},
+	}
+	fmt.Printf("%-12s %9s %9s %13s %9s\n", "model", "correct%", "copies%", "diff-correct%", "speedup")
+	for _, r := range rows {
+		fmt.Printf("%-12s %8.1f%% %8.1f%% %12.1f%% %8.2fx\n",
+			r.name, 100*r.rep.CorrectFrac(),
+			100*float64(r.rep.Copies)/float64(r.rep.Total()),
+			100*r.rep.DifferentCorrectFrac(), pipeline.GeomeanSpeedup(r.rep))
+	}
+	fmt.Printf("instcombine reference speedup: %.2fx\n", pipeline.RefGeomeanSpeedup(rows[len(rows)-1].rep))
+	if *save != "" {
+		blob, err := json.MarshalIndent(res.Latency, "", " ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*save, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("saved Model-Latency policy to %s\n", *save)
+	}
+	return nil
+}
+
+// cmdOptimize runs a trained policy on every function of a .ll file,
+// applying the paper's deployment rule: emit the model's output only
+// when the verifier proves it, else fall back to the input.
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	modelPath := fs.String("model", "", "trained policy JSON (from train -save); empty = use instcombine only")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: veriopt optimize [-model m.json] file.ll")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m, err := ir.Parse(string(src))
+	if err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		return err
+	}
+	var model *policy.Model
+	if *modelPath != "" {
+		blob, err := os.ReadFile(*modelPath)
+		if err != nil {
+			return err
+		}
+		model = &policy.Model{}
+		if err := json.Unmarshal(blob, model); err != nil {
+			return err
+		}
+	}
+	opts := alive.DefaultOptions()
+	for i, f := range m.Funcs {
+		var cand *ir.Function
+		if model != nil {
+			ep := model.Generate(f, policy.GenOptions{})
+			if g, perr := ir.ParseFunc(ep.FinalText); perr == nil && ir.VerifyFunc(g) == nil {
+				cand = g
+			}
+		} else {
+			cand = instcombine.Run(f)
+		}
+		if cand == nil {
+			fmt.Fprintf(os.Stderr, "; @%s: output rejected (parse), keeping input\n", f.Name())
+			continue
+		}
+		res := alive.VerifyFuncs(f, cand, opts)
+		if res.Verdict != alive.Equivalent {
+			fmt.Fprintf(os.Stderr, "; @%s: verifier verdict %s, keeping input\n", f.Name(), res.Verdict)
+			continue
+		}
+		cand.NameStr = f.NameStr
+		m.Funcs[i] = cand
+	}
+	fmt.Print(ir.Print(m))
+	return nil
+}
+
+func cmdDataset(args []string) error {
+	fs := flag.NewFlagSet("dataset", flag.ExitOnError)
+	n := fs.Int("n", 100, "number of samples")
+	seed := fs.Int64("seed", 42, "random seed")
+	out := fs.String("out", "", "output directory for .ll files (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	samples, err := dataset.Generate(dataset.Config{Seed: *seed, N: *n})
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		for _, s := range samples {
+			fmt.Printf("; %s (template %s)\n%s\n", s.Name, s.Template, s.O0Text)
+		}
+		return nil
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		o0 := filepath.Join(*out, s.Name+".O0.ll")
+		ref := filepath.Join(*out, s.Name+".instcombine.ll")
+		if err := os.WriteFile(o0, []byte(ir.Print(s.Module)), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(ref, []byte(s.RefText), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d sample pairs to %s\n", len(samples), *out)
+	return nil
+}

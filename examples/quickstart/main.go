@@ -1,0 +1,49 @@
+// Quickstart: parse a function, run the instcombine reference pass,
+// and formally validate the transformation with the Alive2-style
+// checker — the full verified-peephole loop in a few calls.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/costmodel"
+	"veriopt/internal/instcombine"
+	"veriopt/internal/ir"
+)
+
+const src = `define i32 @sum_scaled(i32 noundef %0, i32 noundef %1) {
+  %3 = alloca i32
+  %4 = alloca i32
+  store i32 %0, ptr %3
+  store i32 %1, ptr %4
+  %5 = load i32, ptr %3
+  %6 = mul i32 %5, 8
+  %7 = load i32, ptr %4
+  %8 = add i32 %6, 0
+  %9 = add nsw i32 %8, %7
+  ret i32 %9
+}
+`
+
+func main() {
+	f, err := ir.ParseFunc(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== input (-O0 style):")
+	fmt.Print(ir.FuncString(f))
+	before := costmodel.Measure(f)
+
+	opt := instcombine.Run(f)
+	fmt.Println("\n== after instcombine:")
+	fmt.Print(ir.FuncString(opt))
+	after := costmodel.Measure(opt)
+
+	res := alive.VerifyFuncs(f, opt, alive.DefaultOptions())
+	fmt.Printf("\nverifier verdict: %s\n", res.Verdict)
+	fmt.Printf("latency %d -> %d (%.2fx), icount %d -> %d, size %dB -> %dB\n",
+		before.Latency, after.Latency, costmodel.Speedup(before, after),
+		before.ICount, after.ICount, before.Size, after.Size)
+}

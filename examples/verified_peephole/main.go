@@ -1,0 +1,53 @@
+// Verified peephole: demonstrates the verifier as a gatekeeper. A
+// plausible-looking but overflow-ignorant rewrite is refuted with a
+// concrete counterexample, while the overflow-aware version is
+// proven; this is the mechanism that lets the RL loop trust nothing
+// the model says.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"veriopt/internal/alive"
+)
+
+const source = `define i1 @lt_after_inc(i32 noundef %0) {
+  %2 = add i32 %0, 1
+  %3 = icmp slt i32 %0, %2
+  ret i1 %3
+}
+`
+
+// The hallucinated fold: "x < x+1 is always true". Wrong at INT_MAX.
+const hallucinated = `define i1 @lt_after_inc(i32 noundef %0) {
+  ret i1 true
+}
+`
+
+// The sound fold: x < x+1 is exactly x != INT_MAX.
+const sound = `define i1 @lt_after_inc(i32 noundef %0) {
+  %2 = icmp ne i32 %0, 2147483647
+  ret i1 %2
+}
+`
+
+func main() {
+	opts := alive.DefaultOptions()
+
+	res, err := alive.VerifyText(source, hallucinated, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== hallucinated fold (ret true):")
+	fmt.Println("verdict:", res.Verdict)
+	fmt.Println(res.Diag)
+	fmt.Println("counterexample inputs:", res.Counterexample)
+
+	res, err = alive.VerifyText(source, sound, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== overflow-aware fold (icmp ne INT_MAX):")
+	fmt.Println("verdict:", res.Verdict)
+}

@@ -1,0 +1,3 @@
+module veriopt
+
+go 1.22

@@ -1,0 +1,630 @@
+// Package alive implements bounded translation validation for the IR
+// subset, in the style of Alive2 (Lopes et al., PLDI 2021): it proves
+// or refutes that a transformed function refines the original under
+// LLVM's poison/UB semantics, using symbolic execution over bit-vector
+// terms decided by bit-blasting (internal/bv) and CDCL SAT
+// (internal/sat). Verdicts follow the paper's four categories:
+// semantic equivalence, semantic error (with a counterexample
+// diagnostic), syntax error, and inconclusive (resource limits or
+// unsupported constructs, e.g. deep loops).
+package alive
+
+import (
+	"fmt"
+
+	"veriopt/internal/bv"
+	"veriopt/internal/ir"
+)
+
+// errUnsupported marks constructs outside the validated subset; they
+// surface as Inconclusive verdicts, mirroring Alive2 giving up.
+type errUnsupported struct{ what string }
+
+func (e *errUnsupported) Error() string { return "unsupported: " + e.what }
+
+// errPathLimit marks path/step budget exhaustion (deep loops).
+type errPathLimit struct{ what string }
+
+func (e *errPathLimit) Error() string { return "resource limit: " + e.what }
+
+// symVal is a symbolic value: bits plus a poison condition.
+type symVal struct {
+	val    *bv.Term // value bits
+	poison *bv.Term // width-1 poison condition
+}
+
+// callEvent is one symbolic external-call occurrence on some path.
+type callEvent struct {
+	cond   *bv.Term // path condition under which the call happens
+	callee string
+	args   []symVal
+	result *bv.Term // shared uninterpreted result variable
+}
+
+// summary is the full symbolic semantics of one function.
+type summary struct {
+	fn *ir.Function
+	// ub is the condition under which executing the function is UB.
+	ub *bv.Term
+	// retVal/retPoison describe the returned value (nil for void).
+	retVal    *bv.Term
+	retPoison *bv.Term
+	// calls[k] lists, per call-occurrence index k, the events observed
+	// across all paths (each with its own path condition).
+	calls [][]callEvent
+	// maxOccur is the largest number of call events on any one path.
+	maxOccur int
+}
+
+// execConfig bounds symbolic execution.
+type execConfig struct {
+	maxPaths int
+	maxSteps int // total instruction visits across all paths
+	// prefix distinguishes source from target for internal var names.
+	prefix string
+	// callVar returns the shared uninterpreted result variable for
+	// call-occurrence k to a callee with a given result width.
+	callVar func(k int, callee string, width int) *bv.Term
+}
+
+type executor struct {
+	b     *bv.Builder
+	cfg   execConfig
+	fn    *ir.Function
+	steps int
+	paths int
+
+	ub       *bv.Term
+	rets     []retRecord
+	calls    [][]callEvent
+	maxOccur int
+	allocaID int
+}
+
+type retRecord struct {
+	cond *bv.Term
+	val  symVal // zero for void
+}
+
+type pathState struct {
+	cond  *bv.Term
+	vals  map[ir.Value]symVal
+	mem   map[*ir.Instr]memCell
+	occur int // call events so far on this path
+}
+
+type memCell struct {
+	val  symVal
+	init bool
+}
+
+func (ps *pathState) clone() *pathState {
+	nv := make(map[ir.Value]symVal, len(ps.vals))
+	for k, v := range ps.vals {
+		nv[k] = v
+	}
+	nm := make(map[*ir.Instr]memCell, len(ps.mem))
+	for k, v := range ps.mem {
+		nm[k] = v
+	}
+	return &pathState{cond: ps.cond, vals: nv, mem: nm, occur: ps.occur}
+}
+
+// widthOf maps an IR type to a bit-vector width. Pointers get 64 bits
+// but pointer arithmetic is unsupported.
+func widthOf(t ir.Type) (int, error) {
+	switch tt := t.(type) {
+	case ir.IntType:
+		return tt.Bits, nil
+	case ir.PtrType:
+		return 64, nil
+	}
+	return 0, &errUnsupported{fmt.Sprintf("type %v in value position", t)}
+}
+
+// exec symbolically executes fn, binding parameters to the provided
+// shared input values.
+func exec(b *bv.Builder, fn *ir.Function, params []symVal, cfg execConfig) (*summary, error) {
+	ex := &executor{b: b, cfg: cfg, fn: fn, ub: b.False()}
+	init := &pathState{cond: b.True(), vals: map[ir.Value]symVal{}, mem: map[*ir.Instr]memCell{}}
+	for i, p := range fn.Params {
+		init.vals[p] = params[i]
+	}
+	if err := ex.runBlock(fn.Entry(), nil, init); err != nil {
+		return nil, err
+	}
+	return ex.finish()
+}
+
+func (ex *executor) finish() (*summary, error) {
+	b := ex.b
+	s := &summary{fn: ex.fn, ub: ex.ub, calls: ex.calls, maxOccur: ex.maxOccur}
+	if _, isVoid := ex.fn.RetTy.(ir.VoidType); !isVoid {
+		w, err := widthOf(ex.fn.RetTy)
+		if err != nil {
+			return nil, err
+		}
+		val := b.Const(w, 0)
+		poison := b.False()
+		for _, r := range ex.rets {
+			val = b.Ite(r.cond, r.val.val, val)
+			poison = b.Ite(r.cond, r.val.poison, poison)
+		}
+		s.retVal, s.retPoison = val, poison
+	}
+	return s, nil
+}
+
+func (ex *executor) addUB(cond *bv.Term) {
+	ex.ub = ex.b.BoolOr(ex.ub, cond)
+}
+
+// runBlock executes block blk entered from pred under state ps.
+func (ex *executor) runBlock(blk *ir.Block, pred *ir.Block, ps *pathState) error {
+	b := ex.b
+	// Evaluate phis simultaneously from the incoming edge.
+	phiVals := map[*ir.Instr]symVal{}
+	for _, in := range blk.Phis() {
+		found := false
+		for _, inc := range in.Incs {
+			if inc.Block == pred {
+				v, err := ex.operand(ps, inc.Val)
+				if err != nil {
+					return err
+				}
+				phiVals[in] = v
+				found = true
+				break
+			}
+		}
+		if !found {
+			return &errUnsupported{"phi without matching incoming edge"}
+		}
+	}
+	for in, v := range phiVals {
+		ps.vals[in] = v
+	}
+
+	for _, in := range blk.Instrs {
+		if in.Op == ir.OpPhi {
+			continue
+		}
+		ex.steps++
+		if ex.steps > ex.cfg.maxSteps {
+			return &errPathLimit{"step budget exhausted (loop too deep?)"}
+		}
+		switch in.Op {
+		case ir.OpRet:
+			rec := retRecord{cond: ps.cond}
+			if len(in.Args) > 0 {
+				v, err := ex.operand(ps, in.Args[0])
+				if err != nil {
+					return err
+				}
+				rec.val = v
+			}
+			ex.rets = append(ex.rets, rec)
+			return nil
+		case ir.OpUnreachable:
+			ex.addUB(ps.cond)
+			return nil
+		case ir.OpBr:
+			return ex.branch(in.Succs[0], blk, ps)
+		case ir.OpSwitch:
+			v, err := ex.operand(ps, in.Args[0])
+			if err != nil {
+				return err
+			}
+			// Switching on poison is UB, like branching on poison.
+			ex.addUB(b.BoolAnd(ps.cond, v.poison))
+			w := v.val.Width
+			notAny := b.True()
+			for i, cc := range in.Cases {
+				eq := b.Eq(v.val, b.Const(w, cc.Val))
+				edge := b.BoolAnd(ps.cond, eq)
+				if !isFalse(edge) {
+					cs := ps.clone()
+					cs.cond = edge
+					if err := ex.branch(in.Succs[i+1], blk, cs); err != nil {
+						return err
+					}
+				}
+				notAny = b.BoolAnd(notAny, b.Not(eq))
+			}
+			defEdge := b.BoolAnd(ps.cond, notAny)
+			if !isFalse(defEdge) {
+				ps.cond = defEdge
+				return ex.branch(in.Succs[0], blk, ps)
+			}
+			return nil
+		case ir.OpCondBr:
+			c, err := ex.operand(ps, in.Args[0])
+			if err != nil {
+				return err
+			}
+			// Branching on poison is UB.
+			ex.addUB(b.BoolAnd(ps.cond, c.poison))
+			tCond := b.BoolAnd(ps.cond, c.val)
+			fCond := b.BoolAnd(ps.cond, b.Not(c.val))
+			// Prune statically-false edges.
+			if !isFalse(tCond) {
+				tps := ps.clone()
+				tps.cond = tCond
+				if err := ex.branch(in.Succs[0], blk, tps); err != nil {
+					return err
+				}
+			}
+			if !isFalse(fCond) {
+				ps.cond = fCond
+				return ex.branch(in.Succs[1], blk, ps)
+			}
+			return nil
+		default:
+			if err := ex.instr(ps, in); err != nil {
+				return err
+			}
+		}
+	}
+	return &errUnsupported{"block without terminator"}
+}
+
+func (ex *executor) branch(dst *ir.Block, from *ir.Block, ps *pathState) error {
+	ex.paths++
+	if ex.paths > ex.cfg.maxPaths {
+		return &errPathLimit{"path budget exhausted"}
+	}
+	return ex.runBlock(dst, from, ps)
+}
+
+func isFalse(t *bv.Term) bool {
+	return t.Op == bv.OpConst && t.Val == 0
+}
+
+func (ex *executor) operand(ps *pathState, v ir.Value) (symVal, error) {
+	b := ex.b
+	switch x := v.(type) {
+	case *ir.Const:
+		return symVal{val: b.Const(x.Ty.Bits, x.Val), poison: b.False()}, nil
+	case *ir.Undef:
+		// Conservatively model undef as poison (sound for proving the
+		// transformations in this subset; may over-reject).
+		w, err := widthOf(x.Ty)
+		if err != nil {
+			return symVal{}, err
+		}
+		return symVal{val: b.Const(w, 0), poison: b.True()}, nil
+	case *ir.Poison:
+		w, err := widthOf(x.Ty)
+		if err != nil {
+			return symVal{}, err
+		}
+		return symVal{val: b.Const(w, 0), poison: b.True()}, nil
+	case *ir.GlobalRef:
+		return symVal{val: b.Var(64, "glob$"+x.NameStr), poison: b.False()}, nil
+	}
+	sv, ok := ps.vals[v]
+	if !ok {
+		return symVal{}, &errUnsupported{"value defined outside executed region"}
+	}
+	return sv, nil
+}
+
+func (ex *executor) instr(ps *pathState, in *ir.Instr) error {
+	b := ex.b
+	switch {
+	case in.Op.IsBinary():
+		x, err := ex.operand(ps, in.Args[0])
+		if err != nil {
+			return err
+		}
+		y, err := ex.operand(ps, in.Args[1])
+		if err != nil {
+			return err
+		}
+		ps.vals[in] = ex.binop(ps, in, x, y)
+		return nil
+	case in.Op == ir.OpICmp:
+		x, err := ex.operand(ps, in.Args[0])
+		if err != nil {
+			return err
+		}
+		y, err := ex.operand(ps, in.Args[1])
+		if err != nil {
+			return err
+		}
+		if _, isInt := in.Args[0].Type().(ir.IntType); !isInt {
+			return &errUnsupported{"icmp on non-integer operands"}
+		}
+		var cmp *bv.Term
+		switch in.Pred {
+		case ir.PredEQ:
+			cmp = b.Eq(x.val, y.val)
+		case ir.PredNE:
+			cmp = b.Not(b.Eq(x.val, y.val))
+		case ir.PredUGT:
+			cmp = b.Cmp(bv.OpUlt, y.val, x.val)
+		case ir.PredUGE:
+			cmp = b.Cmp(bv.OpUle, y.val, x.val)
+		case ir.PredULT:
+			cmp = b.Cmp(bv.OpUlt, x.val, y.val)
+		case ir.PredULE:
+			cmp = b.Cmp(bv.OpUle, x.val, y.val)
+		case ir.PredSGT:
+			cmp = b.Cmp(bv.OpSlt, y.val, x.val)
+		case ir.PredSGE:
+			cmp = b.Cmp(bv.OpSle, y.val, x.val)
+		case ir.PredSLT:
+			cmp = b.Cmp(bv.OpSlt, x.val, y.val)
+		case ir.PredSLE:
+			cmp = b.Cmp(bv.OpSle, x.val, y.val)
+		}
+		ps.vals[in] = symVal{val: cmp, poison: b.BoolOr(x.poison, y.poison)}
+		return nil
+	case in.Op == ir.OpSelect:
+		c, err := ex.operand(ps, in.Args[0])
+		if err != nil {
+			return err
+		}
+		t, err := ex.operand(ps, in.Args[1])
+		if err != nil {
+			return err
+		}
+		f, err := ex.operand(ps, in.Args[2])
+		if err != nil {
+			return err
+		}
+		ps.vals[in] = symVal{
+			val:    b.Ite(c.val, t.val, f.val),
+			poison: b.BoolOr(c.poison, b.Ite(c.val, t.poison, f.poison)),
+		}
+		return nil
+	case in.Op == ir.OpZExt, in.Op == ir.OpSExt, in.Op == ir.OpTrunc:
+		x, err := ex.operand(ps, in.Args[0])
+		if err != nil {
+			return err
+		}
+		w, err := widthOf(in.Ty)
+		if err != nil {
+			return err
+		}
+		var v *bv.Term
+		switch in.Op {
+		case ir.OpZExt:
+			v = b.ZExt(x.val, w)
+		case ir.OpSExt:
+			v = b.SExt(x.val, w)
+		case ir.OpTrunc:
+			v = b.Trunc(x.val, w)
+		}
+		ps.vals[in] = symVal{val: v, poison: x.poison}
+		return nil
+	case in.Op == ir.OpFreeze:
+		x, err := ex.operand(ps, in.Args[0])
+		if err != nil {
+			return err
+		}
+		// freeze(poison) is an arbitrary fixed value; pick 0 (matching
+		// the interpreter) so both sides agree deterministically.
+		w, _ := widthOf(in.Ty)
+		ps.vals[in] = symVal{
+			val:    b.Ite(x.poison, b.Const(w, 0), x.val),
+			poison: b.False(),
+		}
+		return nil
+	case in.Op == ir.OpAlloca:
+		ps.mem[in] = memCell{}
+		// The address itself: opaque distinct non-null value.
+		ex.allocaID++
+		ps.vals[in] = symVal{val: b.Const(64, uint64(0x1000+16*ex.allocaID)), poison: b.False()}
+		return nil
+	case in.Op == ir.OpLoad:
+		cell, err := ex.resolvePtr(ps, in.Args[0])
+		if err != nil {
+			return err
+		}
+		mc := ps.mem[cell]
+		if !mc.init {
+			// Load of uninitialized stack memory: undef, modeled as poison.
+			w, errW := widthOf(in.Ty)
+			if errW != nil {
+				return errW
+			}
+			ps.vals[in] = symVal{val: b.Const(w, 0), poison: b.True()}
+			return nil
+		}
+		w, errW := widthOf(in.Ty)
+		if errW != nil {
+			return errW
+		}
+		if mc.val.val.Width != w {
+			return &errUnsupported{"load width differs from stored width"}
+		}
+		ps.vals[in] = mc.val
+		return nil
+	case in.Op == ir.OpStore:
+		v, err := ex.operand(ps, in.Args[0])
+		if err != nil {
+			return err
+		}
+		cell, err := ex.resolvePtr(ps, in.Args[1])
+		if err != nil {
+			return err
+		}
+		ps.mem[cell] = memCell{val: v, init: true}
+		return nil
+	case in.Op == ir.OpCall:
+		args := make([]symVal, len(in.Args))
+		for i, a := range in.Args {
+			v, err := ex.operand(ps, a)
+			if err != nil {
+				return err
+			}
+			args[i] = v
+		}
+		k := ps.occur
+		ps.occur++
+		if ps.occur > ex.maxOccur {
+			ex.maxOccur = ps.occur
+		}
+		var result *bv.Term
+		if in.HasResult() {
+			w, err := widthOf(in.Ty)
+			if err != nil {
+				return err
+			}
+			result = ex.cfg.callVar(k, in.Callee, w)
+		}
+		for len(ex.calls) <= k {
+			ex.calls = append(ex.calls, nil)
+		}
+		ex.calls[k] = append(ex.calls[k], callEvent{cond: ps.cond, callee: in.Callee, args: args, result: result})
+		if in.HasResult() {
+			ps.vals[in] = symVal{val: result, poison: b.False()}
+		}
+		return nil
+	}
+	return &errUnsupported{fmt.Sprintf("instruction %v", in.Op)}
+}
+
+// resolvePtr maps a pointer operand to its alloca cell; any other
+// pointer provenance is unsupported.
+func (ex *executor) resolvePtr(ps *pathState, p ir.Value) (*ir.Instr, error) {
+	in, ok := p.(*ir.Instr)
+	if !ok || in.Op != ir.OpAlloca {
+		return nil, &errUnsupported{"memory access through non-alloca pointer"}
+	}
+	if _, present := ps.mem[in]; !present {
+		return nil, &errUnsupported{"memory access to out-of-scope alloca"}
+	}
+	return in, nil
+}
+
+func (ex *executor) binop(ps *pathState, in *ir.Instr, x, y symVal) symVal {
+	b := ex.b
+	it := in.Ty.(ir.IntType)
+	w := it.Bits
+	poison := b.BoolOr(x.poison, y.poison)
+	var bop bv.Op
+	switch in.Op {
+	case ir.OpAdd:
+		bop = bv.OpAdd
+	case ir.OpSub:
+		bop = bv.OpSub
+	case ir.OpMul:
+		bop = bv.OpMul
+	case ir.OpUDiv:
+		bop = bv.OpUDiv
+	case ir.OpSDiv:
+		bop = bv.OpSDiv
+	case ir.OpURem:
+		bop = bv.OpURem
+	case ir.OpSRem:
+		bop = bv.OpSRem
+	case ir.OpAnd:
+		bop = bv.OpAnd
+	case ir.OpOr:
+		bop = bv.OpOr
+	case ir.OpXor:
+		bop = bv.OpXor
+	case ir.OpShl:
+		bop = bv.OpShl
+	case ir.OpLShr:
+		bop = bv.OpLShr
+	case ir.OpAShr:
+		bop = bv.OpAShr
+	}
+	val := b.Bin(bop, x.val, y.val)
+
+	if in.Op.IsDivRem() {
+		// Division by zero or a poison divisor is immediate UB; the
+		// signed MinInt/-1 overflow is UB too.
+		zero := b.Const(w, 0)
+		ub := b.BoolOr(y.poison, b.Eq(y.val, zero))
+		if in.Op == ir.OpSDiv || in.Op == ir.OpSRem {
+			minInt := b.Const(w, 1<<uint(w-1))
+			allOnes := b.Const(w, ^uint64(0))
+			ub = b.BoolOr(ub, b.BoolAnd(b.Eq(x.val, minInt), b.Eq(y.val, allOnes)))
+		}
+		ex.addUB(b.BoolAnd(ps.cond, ub))
+		if in.Flags.Exact {
+			// exact division: poison when the remainder is non-zero.
+			var rem *bv.Term
+			if in.Op == ir.OpUDiv {
+				rem = b.Bin(bv.OpURem, x.val, y.val)
+			} else {
+				rem = b.Bin(bv.OpSRem, x.val, y.val)
+			}
+			poison = b.BoolOr(poison, b.Not(b.Eq(rem, b.Const(w, 0))))
+		}
+		return symVal{val: val, poison: poison}
+	}
+
+	// Flag-induced poison.
+	fl := in.Flags
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul:
+		if fl.NUW {
+			poison = b.BoolOr(poison, unsignedWrap(b, in.Op, x.val, y.val, w))
+		}
+		if fl.NSW {
+			poison = b.BoolOr(poison, signedWrap(b, in.Op, x.val, y.val, w))
+		}
+	case ir.OpShl:
+		over := b.Cmp(bv.OpUle, b.Const(w, uint64(w)), y.val)
+		poison = b.BoolOr(poison, over)
+		if fl.NUW {
+			// nuw shl: shifted-out bits must be zero, i.e. lshr(shl(x,y),y)==x.
+			back := b.Bin(bv.OpLShr, val, y.val)
+			poison = b.BoolOr(poison, b.Not(b.Eq(back, x.val)))
+		}
+		if fl.NSW {
+			back := b.Bin(bv.OpAShr, val, y.val)
+			poison = b.BoolOr(poison, b.Not(b.Eq(back, x.val)))
+		}
+	case ir.OpLShr, ir.OpAShr:
+		over := b.Cmp(bv.OpUle, b.Const(w, uint64(w)), y.val)
+		poison = b.BoolOr(poison, over)
+		if fl.Exact {
+			// exact shift: shifted-out bits must be zero.
+			back := b.Bin(bv.OpShl, val, y.val)
+			poison = b.BoolOr(poison, b.Not(b.Eq(back, x.val)))
+		}
+	}
+	return symVal{val: val, poison: poison}
+}
+
+// unsignedWrap builds the condition that op wraps unsigned at width w.
+func unsignedWrap(b *bv.Builder, op ir.Opcode, x, y *bv.Term, w int) *bv.Term {
+	switch op {
+	case ir.OpAdd:
+		// wraps iff x + y < x
+		return b.Cmp(bv.OpUlt, b.Bin(bv.OpAdd, x, y), x)
+	case ir.OpSub:
+		return b.Cmp(bv.OpUlt, x, y)
+	case ir.OpMul:
+		// wraps iff the product at 2w exceeds the w-bit range.
+		xw := b.ZExt(x, 2*w)
+		yw := b.ZExt(y, 2*w)
+		prod := b.Bin(bv.OpMul, xw, yw)
+		return b.Not(b.Eq(prod, b.ZExt(b.Trunc(prod, w), 2*w)))
+	}
+	return b.False()
+}
+
+// signedWrap builds the condition that op wraps signed at width w.
+func signedWrap(b *bv.Builder, op ir.Opcode, x, y *bv.Term, w int) *bv.Term {
+	xw := b.SExt(x, 2*w)
+	yw := b.SExt(y, 2*w)
+	var wide *bv.Term
+	switch op {
+	case ir.OpAdd:
+		wide = b.Bin(bv.OpAdd, xw, yw)
+	case ir.OpSub:
+		wide = b.Bin(bv.OpSub, xw, yw)
+	case ir.OpMul:
+		wide = b.Bin(bv.OpMul, xw, yw)
+	default:
+		return b.False()
+	}
+	return b.Not(b.Eq(wide, b.SExt(b.Trunc(wide, w), 2*w)))
+}

@@ -1,0 +1,384 @@
+package alive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"veriopt/internal/bv"
+	"veriopt/internal/ir"
+	"veriopt/internal/sat"
+)
+
+// Verdict is the four-way outcome of translation validation, matching
+// the paper's Table I/II categories.
+type Verdict int
+
+// Verdict values.
+const (
+	// Equivalent: the target provably refines the source.
+	Equivalent Verdict = iota
+	// SemanticError: a counterexample input distinguishes the two.
+	SemanticError
+	// SyntaxError: the target failed to parse or structurally verify.
+	SyntaxError
+	// Inconclusive: resource limits or unsupported constructs.
+	Inconclusive
+)
+
+var verdictNames = [...]string{"equivalent", "semantic_error", "syntax_error", "inconclusive"}
+
+// String returns a stable lowercase verdict name.
+func (v Verdict) String() string { return verdictNames[v] }
+
+// Result is the outcome of a verification query.
+type Result struct {
+	Verdict Verdict
+	// Diag is an Alive2-style diagnostic message. Empty for Equivalent
+	// (Alive2 prints "Transformation seems to be correct!").
+	Diag string
+	// Counterexample maps parameter names (without %) to input bit
+	// patterns that expose a semantic error.
+	Counterexample map[string]uint64
+	// SolverConflicts counts total SAT conflicts spent.
+	SolverConflicts int
+}
+
+// Options controls verification limits.
+type Options struct {
+	// MaxPaths bounds the number of CFG paths explored per function.
+	MaxPaths int
+	// MaxSteps bounds total symbolically executed instructions.
+	MaxSteps int
+	// SolverBudget bounds SAT conflicts per query (0 = unlimited).
+	SolverBudget int
+}
+
+// DefaultOptions mirror Alive2's bounded-validation posture: generous
+// enough for peephole-sized functions, finite for loops.
+func DefaultOptions() Options {
+	return Options{MaxPaths: 512, MaxSteps: 4096, SolverBudget: 200000}
+}
+
+// VerifyText validates that tgtText refines srcText, where both hold
+// a single function. A target that fails to parse or verify
+// structurally yields SyntaxError; all other outcomes follow the
+// semantic check. The source must be well-formed (an error is
+// returned otherwise, since a broken source indicates harness misuse,
+// not a model failure).
+func VerifyText(srcText, tgtText string, opts Options) (Result, error) {
+	src, err := ir.ParseFunc(srcText)
+	if err != nil {
+		return Result{}, fmt.Errorf("alive: source does not parse: %w", err)
+	}
+	if err := ir.VerifyFunc(src); err != nil {
+		return Result{}, fmt.Errorf("alive: source does not verify: %w", err)
+	}
+	tgt, err := ir.ParseFunc(tgtText)
+	if err != nil {
+		return Result{Verdict: SyntaxError, Diag: "ERROR: couldn't parse transformed IR: " + err.Error()}, nil
+	}
+	if err := ir.VerifyFunc(tgt); err != nil {
+		return Result{Verdict: SyntaxError, Diag: "ERROR: invalid IR: " + err.Error()}, nil
+	}
+	return VerifyFuncs(src, tgt, opts), nil
+}
+
+// VerifyFuncs validates that tgt refines src. Both functions must be
+// structurally well-formed.
+func VerifyFuncs(src, tgt *ir.Function, opts Options) Result {
+	if opts.MaxPaths == 0 {
+		opts = DefaultOptions()
+	}
+	// Signature must match.
+	if len(src.Params) != len(tgt.Params) || !src.RetTy.Equal(tgt.RetTy) {
+		return Result{Verdict: SemanticError, Diag: "ERROR: signature mismatch between source and target"}
+	}
+	for i := range src.Params {
+		if !src.Params[i].Ty.Equal(tgt.Params[i].Ty) {
+			return Result{Verdict: SemanticError,
+				Diag: fmt.Sprintf("ERROR: parameter %d type mismatch: %s vs %s", i, src.Params[i].Ty, tgt.Params[i].Ty)}
+		}
+	}
+
+	b := bv.NewBuilder()
+	// Shared symbolic inputs. Parameters carry noundef in the clang
+	// -O0 style our pipeline uses, so inputs are never poison; a
+	// non-noundef parameter gets a free poison bit.
+	params := make([]symVal, len(src.Params))
+	paramNames := make([]string, len(src.Params))
+	for i, p := range src.Params {
+		w, err := widthOf(p.Ty)
+		if err != nil {
+			return Result{Verdict: Inconclusive, Diag: "ERROR: " + err.Error()}
+		}
+		name := fmt.Sprintf("in%d", i)
+		paramNames[i] = p.NameStr
+		poison := b.False()
+		if !p.Noundef || !tgt.Params[i].Noundef {
+			poison = b.Var(1, name+"$poison")
+		}
+		params[i] = symVal{val: b.Var(w, name), poison: poison}
+	}
+
+	// Shared uninterpreted call results: occurrence k of callee c
+	// returns the same unknown on both sides (trace equality below
+	// makes this sound).
+	callVars := map[string]*bv.Term{}
+	callVar := func(k int, callee string, width int) *bv.Term {
+		key := fmt.Sprintf("call$%s$%d$%d", callee, k, width)
+		if t, ok := callVars[key]; ok {
+			return t
+		}
+		t := b.Var(width, key)
+		callVars[key] = t
+		return t
+	}
+
+	cfg := execConfig{maxPaths: opts.MaxPaths, maxSteps: opts.MaxSteps, callVar: callVar}
+	sSum, err := exec(b, src, params, cfg)
+	if err != nil {
+		return inconclusiveFrom(err)
+	}
+	tSum, err := exec(b, tgt, params, cfg)
+	if err != nil {
+		return inconclusiveFrom(err)
+	}
+
+	return refine(b, sSum, tSum, paramNames, opts)
+}
+
+func inconclusiveFrom(err error) Result {
+	var unsup *errUnsupported
+	var lim *errPathLimit
+	switch {
+	case errors.As(err, &unsup):
+		return Result{Verdict: Inconclusive, Diag: "ERROR: " + unsup.Error()}
+	case errors.As(err, &lim):
+		return Result{Verdict: Inconclusive, Diag: "ERROR: " + lim.Error()}
+	}
+	return Result{Verdict: Inconclusive, Diag: "ERROR: " + err.Error()}
+}
+
+// refinementQuery is one class of potential violation, checked in
+// order; the first satisfiable one yields the diagnostic.
+type refinementQuery struct {
+	cond *bv.Term
+	diag string
+}
+
+func refine(b *bv.Builder, src, tgt *summary, paramNames []string, opts Options) Result {
+	srcOK := b.Not(src.ub)
+	var queries []refinementQuery
+
+	// 1. Target must not introduce UB.
+	queries = append(queries, refinementQuery{
+		cond: b.BoolAnd(srcOK, tgt.ub),
+		diag: "Target has undefined behavior where source does not",
+	})
+
+	// 2. Observable call traces must match: per occurrence index, the
+	// same callee must run under the same condition with equal,
+	// non-poison arguments.
+	maxOcc := src.maxOccur
+	if tgt.maxOccur > maxOcc {
+		maxOcc = tgt.maxOccur
+	}
+	for k := 0; k < maxOcc; k++ {
+		callees := map[string]bool{}
+		for _, ev := range occ(src, k) {
+			callees[ev.callee] = true
+		}
+		for _, ev := range occ(tgt, k) {
+			callees[ev.callee] = true
+		}
+		names := make([]string, 0, len(callees))
+		for c := range callees {
+			names = append(names, c)
+		}
+		sort.Strings(names)
+		for _, callee := range names {
+			sCond, sArgs, sOK := gatherCalls(b, occ(src, k), callee)
+			tCond, tArgs, tOK := gatherCalls(b, occ(tgt, k), callee)
+			if !sOK || !tOK {
+				// Inconsistent argument types across paths within one
+				// function: reject whenever the call happens.
+				queries = append(queries, refinementQuery{
+					cond: b.BoolAnd(srcOK, b.BoolOr(sCond, tCond)),
+					diag: fmt.Sprintf("Call to @%s (occurrence %d) has inconsistent argument types", callee, k+1),
+				})
+				continue
+			}
+			// Same happens-condition.
+			queries = append(queries, refinementQuery{
+				cond: b.BoolAnd(srcOK, b.Bin(bv.OpXor, sCond, tCond)),
+				diag: fmt.Sprintf("Call to @%s (occurrence %d) happens in only one of source and target", callee, k+1),
+			})
+			// Equal, non-poison arguments when both happen.
+			n := len(sArgs)
+			if len(tArgs) < n {
+				n = len(tArgs)
+			}
+			if len(sArgs) != len(tArgs) {
+				queries = append(queries, refinementQuery{
+					cond: b.BoolAnd(srcOK, b.BoolAnd(sCond, tCond)),
+					diag: fmt.Sprintf("Call to @%s (occurrence %d) has different arity", callee, k+1),
+				})
+			}
+			for j := 0; j < n; j++ {
+				both := b.BoolAnd(srcOK, b.BoolAnd(sCond, tCond))
+				if sArgs[j].val.Width != tArgs[j].val.Width {
+					// The argument types differ — wrong whenever both
+					// calls happen.
+					queries = append(queries, refinementQuery{
+						cond: both,
+						diag: fmt.Sprintf("Argument %d of call to @%s (occurrence %d) has a different type", j+1, callee, k+1),
+					})
+					continue
+				}
+				bad := b.BoolOr(
+					b.BoolOr(sArgs[j].poison, tArgs[j].poison),
+					b.Not(b.Eq(sArgs[j].val, tArgs[j].val)))
+				queries = append(queries, refinementQuery{
+					cond: b.BoolAnd(both, bad),
+					diag: fmt.Sprintf("Argument %d of call to @%s (occurrence %d) differs or may be poison", j+1, callee, k+1),
+				})
+			}
+		}
+	}
+
+	if src.retVal != nil {
+		okBoth := b.BoolAnd(srcOK, b.Not(tgt.ub))
+		srcDefined := b.BoolAnd(okBoth, b.Not(src.retPoison))
+		// 3. Target must not be more poisonous.
+		queries = append(queries, refinementQuery{
+			cond: b.BoolAnd(srcDefined, tgt.retPoison),
+			diag: "Target is more poisonous than source",
+		})
+		// 4. Defined values must agree.
+		queries = append(queries, refinementQuery{
+			cond: b.BoolAnd(srcDefined, b.BoolAnd(b.Not(tgt.retPoison), b.Not(b.Eq(src.retVal, tgt.retVal)))),
+			diag: "Value mismatch",
+		})
+	}
+
+	conflicts := 0
+	for _, q := range queries {
+		if isFalse(q.cond) {
+			continue // statically impossible
+		}
+		res, err := bv.CheckSat(q.cond, opts.SolverBudget)
+		if err != nil {
+			return Result{Verdict: Inconclusive,
+				Diag:            "ERROR: solver budget exhausted (" + q.diag + " check)",
+				SolverConflicts: conflicts}
+		}
+		if res.Status == sat.Sat {
+			return Result{
+				Verdict:         SemanticError,
+				Diag:            renderDiag(b, q.diag, res.Model, src, tgt, paramNames),
+				Counterexample:  extractInputs(res.Model, paramNames),
+				SolverConflicts: conflicts,
+			}
+		}
+	}
+	return Result{Verdict: Equivalent, SolverConflicts: conflicts}
+}
+
+func occ(s *summary, k int) []callEvent {
+	if k < len(s.calls) {
+		return s.calls[k]
+	}
+	return nil
+}
+
+// gatherCalls merges the events for one occurrence index and callee
+// into a single (condition, args) pair using ite chains. ok is false
+// when events disagree on argument types.
+func gatherCalls(b *bv.Builder, events []callEvent, callee string) (*bv.Term, []symVal, bool) {
+	cond := b.False()
+	var args []symVal
+	for _, ev := range events {
+		if ev.callee != callee {
+			continue
+		}
+		cond = b.BoolOr(cond, ev.cond)
+		if args == nil {
+			args = make([]symVal, len(ev.args))
+			for j := range ev.args {
+				args[j] = ev.args[j]
+			}
+		} else {
+			n := len(args)
+			if len(ev.args) < n {
+				n = len(ev.args)
+			}
+			for j := 0; j < n; j++ {
+				if ev.args[j].val.Width != args[j].val.Width {
+					return cond, nil, false
+				}
+				args[j] = symVal{
+					val:    b.Ite(ev.cond, ev.args[j].val, args[j].val),
+					poison: b.Ite(ev.cond, ev.args[j].poison, args[j].poison),
+				}
+			}
+		}
+	}
+	return cond, args, true
+}
+
+// extractInputs pulls the parameter valuation out of a SAT model.
+func extractInputs(model map[string]uint64, paramNames []string) map[string]uint64 {
+	out := map[string]uint64{}
+	for i, n := range paramNames {
+		out[n] = model[fmt.Sprintf("in%d", i)]
+	}
+	return out
+}
+
+// renderDiag produces an Alive2-flavoured error report with the
+// triggering example, e.g.:
+//
+//	ERROR: Value mismatch
+//
+//	Example:
+//	i32 %0 = #x00000007 (7)
+//	Source value: i32 14
+//	Target value: i32 15
+func renderDiag(b *bv.Builder, kind string, model map[string]uint64, src, tgt *summary, paramNames []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ERROR: %s\n\nExample:\n", kind)
+	for i, p := range src.fn.Params {
+		v := model[fmt.Sprintf("in%d", i)]
+		w, _ := widthOf(p.Ty)
+		fmt.Fprintf(&sb, "%s %%%s = #x%0*x (%d)\n", p.Ty, paramNames[i], (w+3)/4, v, signedOf(v, w))
+	}
+	env := model
+	if src.retVal != nil {
+		fmt.Fprintf(&sb, "Source value: %s %s\n", src.fn.RetTy, renderVal(src.retVal, src.retPoison, env))
+		fmt.Fprintf(&sb, "Target value: %s %s\n", tgt.fn.RetTy, renderVal(tgt.retVal, tgt.retPoison, env))
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+func renderVal(val, poison *bv.Term, env map[string]uint64) string {
+	if p, ok := bv.Eval(poison, env); ok && p == 1 {
+		return "poison"
+	}
+	v, ok := bv.Eval(val, env)
+	if !ok {
+		return "?"
+	}
+	return fmt.Sprintf("%d", signedOf(v, val.Width))
+}
+
+func signedOf(v uint64, w int) int64 {
+	if w == 1 {
+		return int64(v & 1) // i1 renders as 0/1, not -1
+	}
+	if w < 64 && v&(1<<uint(w-1)) != 0 {
+		v |= ^uint64(0) << uint(w)
+	}
+	return int64(v)
+}

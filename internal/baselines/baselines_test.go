@@ -1,0 +1,93 @@
+package baselines
+
+import (
+	"testing"
+
+	"veriopt/internal/dataset"
+	"veriopt/internal/pipeline"
+	"veriopt/internal/policy"
+)
+
+func TestSuiteOrderAndNames(t *testing.T) {
+	samples, err := dataset.Generate(dataset.Config{Seed: 4, N: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := Suite(samples, 1)
+	if len(suite) != 6 {
+		t.Fatalf("suite size %d, want 6", len(suite))
+	}
+	for i := 1; i < len(suite); i++ {
+		if suite[i].Params < suite[i-1].Params {
+			t.Errorf("suite not ordered by size: %s (%v) after %s (%v)",
+				suite[i].Name, suite[i].Params, suite[i-1].Name, suite[i-1].Params)
+		}
+	}
+	for _, b := range suite {
+		if b.Augmented {
+			t.Errorf("%s: baselines must use the generic prompt", b.Name)
+		}
+		if b.Model == nil {
+			t.Errorf("%s: nil model", b.Name)
+		}
+	}
+}
+
+func TestSFTBaselineBeatsUntrained(t *testing.T) {
+	samples, err := dataset.Generate(dataset.Config{Seed: 8, N: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val := dataset.Split(samples, 0.33, 2)
+	vo := pipeline.EvalOptions()
+	base := policy.New(policy.CapQwen3B, 9)
+	baseRep := pipeline.Evaluate(base, val, false, vo)
+	sftB := SFT(policy.CapQwen3B, 3, train, 9)
+	sftRep := pipeline.Evaluate(sftB.Model, val, false, vo)
+	if sftRep.DifferentCorrectFrac() <= baseRep.DifferentCorrectFrac() {
+		t.Errorf("SFT (%.2f) did not beat untrained (%.2f) on different-correct",
+			sftRep.DifferentCorrectFrac(), baseRep.DifferentCorrectFrac())
+	}
+}
+
+func TestLLMCompilerProfile(t *testing.T) {
+	samples, err := dataset.Generate(dataset.Config{Seed: 10, N: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := LLMCompiler(3)
+	rep := pipeline.Evaluate(b.Model, samples, false, pipeline.EvalOptions())
+	// The LLM-Compiler analogue compiles nearly always (the paper
+	// reports 95.6%) ...
+	synFrac := float64(rep.Syntax) / float64(rep.Total())
+	if synFrac > 0.15 {
+		t.Errorf("LLM-Compiler analogue syntax-error rate %.2f too high", synFrac)
+	}
+	// ... but rarely matches instcombine exactly.
+	exact := 0
+	for _, r := range rep.Results {
+		if r.FinalFn != nil && r.Out == r.Ref && !r.Copied {
+			exact++
+		}
+	}
+	if float64(exact)/float64(rep.Total()) > 0.6 {
+		t.Errorf("LLM-Compiler analogue matches the optimized form too often (%d/%d)", exact, rep.Total())
+	}
+}
+
+func TestScaleImprovesQuality(t *testing.T) {
+	samples, err := dataset.Generate(dataset.Config{Seed: 12, N: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val := dataset.Split(samples, 0.4, 2)
+	vo := pipeline.EvalOptions()
+	small := SFT(policy.CapQwen05B, 0.5, train, 7)
+	big := SFT(policy.CapQwen32B, 32, train, 7)
+	smallRep := pipeline.Evaluate(small.Model, val, false, vo)
+	bigRep := pipeline.Evaluate(big.Model, val, false, vo)
+	if bigRep.CorrectFrac() < smallRep.CorrectFrac()-0.05 {
+		t.Errorf("32B analogue (%.2f) below 0.5B analogue (%.2f) on correctness",
+			bigRep.CorrectFrac(), smallRep.CorrectFrac())
+	}
+}

@@ -1,0 +1,509 @@
+// Package bv implements fixed-width bit-vector terms with
+// hash-consing, constant folding, a concrete evaluator, and a
+// bit-blasting translation to CNF solved by internal/sat. It is the
+// theory layer of the Alive2-style translation validator.
+package bv
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a bit-vector term operator.
+type Op int
+
+// Term operators. Comparison operators produce width-1 terms.
+const (
+	OpConst Op = iota
+	OpVar
+	OpAdd
+	OpSub
+	OpMul
+	OpUDiv
+	OpSDiv
+	OpURem
+	OpSRem
+	OpAnd
+	OpOr
+	OpXor
+	OpNot
+	OpNeg
+	OpShl
+	OpLShr
+	OpAShr
+	OpEq
+	OpUlt
+	OpUle
+	OpSlt
+	OpSle
+	OpIte
+	OpZExt
+	OpSExt
+	OpTrunc
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpVar: "var", OpAdd: "add", OpSub: "sub", OpMul: "mul",
+	OpUDiv: "udiv", OpSDiv: "sdiv", OpURem: "urem", OpSRem: "srem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpNot: "not", OpNeg: "neg",
+	OpShl: "shl", OpLShr: "lshr", OpAShr: "ashr",
+	OpEq: "eq", OpUlt: "ult", OpUle: "ule", OpSlt: "slt", OpSle: "sle",
+	OpIte: "ite", OpZExt: "zext", OpSExt: "sext", OpTrunc: "trunc",
+}
+
+// String returns the operator mnemonic.
+func (o Op) String() string { return opNames[o] }
+
+// Term is an immutable bit-vector expression node. Terms are
+// hash-consed per Builder: identical structures share one node, so
+// pointer equality implies structural equality.
+type Term struct {
+	Op    Op
+	Width int // result width in bits, 1..64
+	Kids  []*Term
+	Val   uint64 // OpConst only
+	Name  string // OpVar only
+	id    int
+}
+
+// ID returns the term's unique (per-Builder) identity.
+func (t *Term) ID() int { return t.id }
+
+// IsConst reports whether t is a constant, returning its value.
+func (t *Term) IsConst() (uint64, bool) {
+	if t.Op == OpConst {
+		return t.Val, true
+	}
+	return 0, false
+}
+
+// String renders the term as an s-expression (for diagnostics).
+func (t *Term) String() string {
+	switch t.Op {
+	case OpConst:
+		return fmt.Sprintf("%d:i%d", t.Val, t.Width)
+	case OpVar:
+		return fmt.Sprintf("%s:i%d", t.Name, t.Width)
+	}
+	parts := make([]string, len(t.Kids))
+	for i, k := range t.Kids {
+		parts[i] = k.String()
+	}
+	return fmt.Sprintf("(%s %s)", t.Op, strings.Join(parts, " "))
+}
+
+func mask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+func signExtend(v uint64, w int) int64 {
+	v &= mask(w)
+	if w < 64 && v&(1<<uint(w-1)) != 0 {
+		v |= ^mask(w)
+	}
+	return int64(v)
+}
+
+// Builder creates hash-consed terms with bottom-up constant folding.
+type Builder struct {
+	table  map[string]*Term
+	nextID int
+}
+
+// NewBuilder returns an empty term builder.
+func NewBuilder() *Builder {
+	return &Builder{table: map[string]*Term{}}
+}
+
+// NumTerms returns the number of distinct terms created.
+func (b *Builder) NumTerms() int { return b.nextID }
+
+func (b *Builder) intern(t *Term) *Term {
+	var key strings.Builder
+	fmt.Fprintf(&key, "%d|%d|%d|%s", t.Op, t.Width, t.Val, t.Name)
+	for _, k := range t.Kids {
+		fmt.Fprintf(&key, "|%d", k.id)
+	}
+	ks := key.String()
+	if old, ok := b.table[ks]; ok {
+		return old
+	}
+	t.id = b.nextID
+	b.nextID++
+	b.table[ks] = t
+	return t
+}
+
+// Const builds a constant of the given width.
+func (b *Builder) Const(w int, v uint64) *Term {
+	return b.intern(&Term{Op: OpConst, Width: w, Val: v & mask(w)})
+}
+
+// Var builds (or returns) the named variable of the given width.
+func (b *Builder) Var(w int, name string) *Term {
+	return b.intern(&Term{Op: OpVar, Width: w, Name: name})
+}
+
+// True and False are width-1 constants.
+func (b *Builder) True() *Term { return b.Const(1, 1) }
+
+// False is the width-1 zero constant.
+func (b *Builder) False() *Term { return b.Const(1, 0) }
+
+// Bin builds a binary arithmetic/bitwise/shift term.
+func (b *Builder) Bin(op Op, x, y *Term) *Term {
+	if x.Width != y.Width {
+		panic(fmt.Sprintf("bv: width mismatch %d vs %d for %v", x.Width, y.Width, op))
+	}
+	w := x.Width
+	if x.Op == OpConst && y.Op == OpConst {
+		if v, ok := foldBin(op, x.Val, y.Val, w); ok {
+			return b.Const(w, v)
+		}
+	}
+	if t := b.simplifyBin(op, x, y); t != nil {
+		return t
+	}
+	return b.intern(&Term{Op: op, Width: w, Kids: []*Term{x, y}})
+}
+
+func foldBin(op Op, a, c uint64, w int) (uint64, bool) {
+	a &= mask(w)
+	c &= mask(w)
+	switch op {
+	case OpAdd:
+		return (a + c) & mask(w), true
+	case OpSub:
+		return (a - c) & mask(w), true
+	case OpMul:
+		return (a * c) & mask(w), true
+	case OpUDiv:
+		if c == 0 {
+			return 0, false
+		}
+		return a / c, true
+	case OpURem:
+		if c == 0 {
+			return 0, false
+		}
+		return a % c, true
+	case OpSDiv:
+		if c == 0 {
+			return 0, false
+		}
+		sa, sc := signExtend(a, w), signExtend(c, w)
+		if sc == -1 && sa == signExtend(1<<uint(w-1), w) {
+			return 0, false
+		}
+		return uint64(sa/sc) & mask(w), true
+	case OpSRem:
+		if c == 0 {
+			return 0, false
+		}
+		sa, sc := signExtend(a, w), signExtend(c, w)
+		if sc == -1 && sa == signExtend(1<<uint(w-1), w) {
+			return 0, false
+		}
+		return uint64(sa%sc) & mask(w), true
+	case OpAnd:
+		return a & c, true
+	case OpOr:
+		return a | c, true
+	case OpXor:
+		return a ^ c, true
+	case OpShl:
+		if c >= uint64(w) {
+			return 0, true
+		}
+		return (a << c) & mask(w), true
+	case OpLShr:
+		if c >= uint64(w) {
+			return 0, true
+		}
+		return a >> c, true
+	case OpAShr:
+		if c >= uint64(w) {
+			c = uint64(w - 1)
+		}
+		return uint64(signExtend(a, w)>>c) & mask(w), true
+	}
+	return 0, false
+}
+
+// simplifyBin applies cheap local identities; returns nil if none apply.
+func (b *Builder) simplifyBin(op Op, x, y *Term) *Term {
+	yc, yIsC := constOf(y)
+	xc, xIsC := constOf(x)
+	switch op {
+	case OpAdd:
+		if yIsC && yc == 0 {
+			return x
+		}
+		if xIsC && xc == 0 {
+			return y
+		}
+	case OpSub:
+		if yIsC && yc == 0 {
+			return x
+		}
+		if x == y {
+			return b.Const(x.Width, 0)
+		}
+	case OpMul:
+		if yIsC && yc == 1 {
+			return x
+		}
+		if xIsC && xc == 1 {
+			return y
+		}
+		if (yIsC && yc == 0) || (xIsC && xc == 0) {
+			return b.Const(x.Width, 0)
+		}
+	case OpAnd:
+		if x == y {
+			return x
+		}
+		if (yIsC && yc == 0) || (xIsC && xc == 0) {
+			return b.Const(x.Width, 0)
+		}
+		if yIsC && yc == mask(x.Width) {
+			return x
+		}
+		if xIsC && xc == mask(x.Width) {
+			return y
+		}
+	case OpOr:
+		if x == y {
+			return x
+		}
+		if yIsC && yc == 0 {
+			return x
+		}
+		if xIsC && xc == 0 {
+			return y
+		}
+	case OpXor:
+		if x == y {
+			return b.Const(x.Width, 0)
+		}
+		if yIsC && yc == 0 {
+			return x
+		}
+		if xIsC && xc == 0 {
+			return y
+		}
+	case OpShl, OpLShr, OpAShr:
+		if yIsC && yc == 0 {
+			return x
+		}
+	}
+	return nil
+}
+
+func constOf(t *Term) (uint64, bool) {
+	if t.Op == OpConst {
+		return t.Val, true
+	}
+	return 0, false
+}
+
+// Not builds bitwise complement.
+func (b *Builder) Not(x *Term) *Term {
+	if c, ok := constOf(x); ok {
+		return b.Const(x.Width, ^c)
+	}
+	if x.Op == OpNot {
+		return x.Kids[0]
+	}
+	return b.intern(&Term{Op: OpNot, Width: x.Width, Kids: []*Term{x}})
+}
+
+// Neg builds two's-complement negation.
+func (b *Builder) Neg(x *Term) *Term {
+	if c, ok := constOf(x); ok {
+		return b.Const(x.Width, -c)
+	}
+	return b.intern(&Term{Op: OpNeg, Width: x.Width, Kids: []*Term{x}})
+}
+
+// Cmp builds a comparison term of width 1.
+func (b *Builder) Cmp(op Op, x, y *Term) *Term {
+	if x.Width != y.Width {
+		panic(fmt.Sprintf("bv: cmp width mismatch %d vs %d", x.Width, y.Width))
+	}
+	if xc, ok1 := constOf(x); ok1 {
+		if yc, ok2 := constOf(y); ok2 {
+			w := x.Width
+			var r bool
+			switch op {
+			case OpEq:
+				r = xc == yc
+			case OpUlt:
+				r = xc < yc
+			case OpUle:
+				r = xc <= yc
+			case OpSlt:
+				r = signExtend(xc, w) < signExtend(yc, w)
+			case OpSle:
+				r = signExtend(xc, w) <= signExtend(yc, w)
+			}
+			if r {
+				return b.True()
+			}
+			return b.False()
+		}
+	}
+	if x == y {
+		switch op {
+		case OpEq, OpUle, OpSle:
+			return b.True()
+		case OpUlt, OpSlt:
+			return b.False()
+		}
+	}
+	return b.intern(&Term{Op: op, Width: 1, Kids: []*Term{x, y}})
+}
+
+// Eq is shorthand for Cmp(OpEq, x, y).
+func (b *Builder) Eq(x, y *Term) *Term { return b.Cmp(OpEq, x, y) }
+
+// Ite builds if-then-else over a width-1 condition.
+func (b *Builder) Ite(c, t, f *Term) *Term {
+	if c.Width != 1 {
+		panic("bv: ite condition must have width 1")
+	}
+	if t.Width != f.Width {
+		panic("bv: ite arm width mismatch")
+	}
+	if cv, ok := constOf(c); ok {
+		if cv == 1 {
+			return t
+		}
+		return f
+	}
+	if t == f {
+		return t
+	}
+	return b.intern(&Term{Op: OpIte, Width: t.Width, Kids: []*Term{c, t, f}})
+}
+
+// ZExt zero-extends x to width w.
+func (b *Builder) ZExt(x *Term, w int) *Term {
+	if w == x.Width {
+		return x
+	}
+	if c, ok := constOf(x); ok {
+		return b.Const(w, c)
+	}
+	return b.intern(&Term{Op: OpZExt, Width: w, Kids: []*Term{x}})
+}
+
+// SExt sign-extends x to width w.
+func (b *Builder) SExt(x *Term, w int) *Term {
+	if w == x.Width {
+		return x
+	}
+	if c, ok := constOf(x); ok {
+		return b.Const(w, uint64(signExtend(c, x.Width)))
+	}
+	return b.intern(&Term{Op: OpSExt, Width: w, Kids: []*Term{x}})
+}
+
+// Trunc truncates x to width w.
+func (b *Builder) Trunc(x *Term, w int) *Term {
+	if w == x.Width {
+		return x
+	}
+	if c, ok := constOf(x); ok {
+		return b.Const(w, c)
+	}
+	return b.intern(&Term{Op: OpTrunc, Width: w, Kids: []*Term{x}})
+}
+
+// Bool connectives on width-1 terms.
+
+// BoolAnd returns x ∧ y on width-1 terms.
+func (b *Builder) BoolAnd(x, y *Term) *Term { return b.Bin(OpAnd, x, y) }
+
+// BoolOr returns x ∨ y on width-1 terms.
+func (b *Builder) BoolOr(x, y *Term) *Term { return b.Bin(OpOr, x, y) }
+
+// BoolNot returns ¬x on a width-1 term.
+func (b *Builder) BoolNot(x *Term) *Term { return b.Not(x) }
+
+// Implies returns x → y on width-1 terms.
+func (b *Builder) Implies(x, y *Term) *Term { return b.BoolOr(b.Not(x), y) }
+
+// Eval evaluates a term under an assignment of variable values
+// (by name). Division by zero returns (0, false).
+func Eval(t *Term, env map[string]uint64) (uint64, bool) {
+	switch t.Op {
+	case OpConst:
+		return t.Val, true
+	case OpVar:
+		v, ok := env[t.Name]
+		if !ok {
+			return 0, true // unconstrained variables default to 0
+		}
+		return v & mask(t.Width), true
+	case OpNot:
+		v, ok := Eval(t.Kids[0], env)
+		return ^v & mask(t.Width), ok
+	case OpNeg:
+		v, ok := Eval(t.Kids[0], env)
+		return -v & mask(t.Width), ok
+	case OpIte:
+		c, ok := Eval(t.Kids[0], env)
+		if !ok {
+			return 0, false
+		}
+		if c&1 == 1 {
+			return Eval(t.Kids[1], env)
+		}
+		return Eval(t.Kids[2], env)
+	case OpZExt:
+		v, ok := Eval(t.Kids[0], env)
+		return v & mask(t.Kids[0].Width), ok
+	case OpSExt:
+		v, ok := Eval(t.Kids[0], env)
+		return uint64(signExtend(v, t.Kids[0].Width)) & mask(t.Width), ok
+	case OpTrunc:
+		v, ok := Eval(t.Kids[0], env)
+		return v & mask(t.Width), ok
+	case OpEq, OpUlt, OpUle, OpSlt, OpSle:
+		x, ok1 := Eval(t.Kids[0], env)
+		y, ok2 := Eval(t.Kids[1], env)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		w := t.Kids[0].Width
+		var r bool
+		switch t.Op {
+		case OpEq:
+			r = x&mask(w) == y&mask(w)
+		case OpUlt:
+			r = x&mask(w) < y&mask(w)
+		case OpUle:
+			r = x&mask(w) <= y&mask(w)
+		case OpSlt:
+			r = signExtend(x, w) < signExtend(y, w)
+		case OpSle:
+			r = signExtend(x, w) <= signExtend(y, w)
+		}
+		if r {
+			return 1, true
+		}
+		return 0, true
+	}
+	// Binary ops.
+	x, ok1 := Eval(t.Kids[0], env)
+	y, ok2 := Eval(t.Kids[1], env)
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	v, ok := foldBin(t.Op, x, y, t.Width)
+	return v, ok
+}

@@ -1,0 +1,469 @@
+// Package dataset synthesizes the training and validation corpus:
+// C-like scalar functions lowered in the clang -O0 style (every local
+// variable through an alloca/store/load round trip), paired with the
+// reference output of internal/instcombine, filtered to
+// Alive2-verified-equivalent pairs within the 2048-token context
+// window — the same corpus construction the paper performs on the
+// LLVM and GCC test suites (§IV-A).
+package dataset
+
+import (
+	"fmt"
+
+	"veriopt/internal/ir"
+)
+
+// expr is a C-like expression tree lowered into -O0 style IR.
+type expr interface{ isExpr() }
+
+// eVar reads a named local variable (always via a load at -O0).
+type eVar struct{ name string }
+
+// eParam reads the i-th parameter's spill slot.
+type eParam struct{ idx int }
+
+// eConst is an integer literal.
+type eConst struct {
+	ty  ir.IntType
+	val int64
+}
+
+// eBin is a binary operation.
+type eBin struct {
+	op    ir.Opcode
+	flags ir.Flags
+	l, r  expr
+}
+
+// eCmp is a comparison producing i1.
+type eCmp struct {
+	pred ir.Pred
+	l, r expr
+}
+
+// eCast converts between integer widths.
+type eCast struct {
+	op ir.Opcode
+	to ir.IntType
+	e  expr
+}
+
+// eCall invokes an external function.
+type eCall struct {
+	callee string
+	retTy  ir.Type
+	args   []expr
+}
+
+func (eVar) isExpr()   {}
+func (eParam) isExpr() {}
+func (eConst) isExpr() {}
+func (eBin) isExpr()   {}
+func (eCmp) isExpr()   {}
+func (eCast) isExpr()  {}
+func (eCall) isExpr()  {}
+
+// stmt is a C-like statement.
+type stmt interface{ isStmt() }
+
+// sDecl declares (and optionally initializes) a local variable.
+type sDecl struct {
+	name string
+	ty   ir.IntType
+	init expr // may be nil
+}
+
+// sAssign stores into a local variable.
+type sAssign struct {
+	name string
+	e    expr
+}
+
+// sIf is an if/else statement.
+type sIf struct {
+	cond expr
+	then []stmt
+	els  []stmt // may be nil
+}
+
+// sRet returns a value (or nothing for void).
+type sRet struct{ e expr }
+
+// sExpr evaluates an expression for its side effects (calls).
+type sExpr struct{ e expr }
+
+// sFor is a bounded counted loop: for (i = 0; i < n; i++) body, with
+// a compile-time constant n so Alive2-style bounded validation can
+// unroll it.
+type sFor struct {
+	ivar  string
+	count int64
+	body  []stmt
+}
+
+// sSwitch is a C switch with implicit breaks: each case body jumps to
+// the end (no fallthrough, matching how clang lowers break-terminated
+// cases).
+type sSwitch struct {
+	value expr
+	cases []switchCase
+	def   []stmt // default body; may be nil
+}
+
+type switchCase struct {
+	val  int64
+	body []stmt
+}
+
+func (sDecl) isStmt()   {}
+func (sAssign) isStmt() {}
+func (sIf) isStmt()     {}
+func (sRet) isStmt()    {}
+func (sExpr) isStmt()   {}
+func (sFor) isStmt()    {}
+func (sSwitch) isStmt() {}
+
+// program is a complete function before lowering.
+type program struct {
+	name     string
+	retTy    ir.Type
+	paramTys []ir.IntType
+	body     []stmt
+	// decls lists external callees used by eCall.
+	decls []*ir.Declaration
+}
+
+// lower compiles the program into -O0-style IR: parameters spilled to
+// allocas, every variable access a load, every assignment a store.
+func lower(p *program) (*ir.Module, error) {
+	ptys := make([]ir.Type, len(p.paramTys))
+	for i, t := range p.paramTys {
+		ptys[i] = t
+	}
+	b := ir.NewBuilder(p.name, p.retTy, ptys...)
+	b.Fn.Attrs = "#0"
+	entry := b.NewBlock("")
+	_ = entry
+
+	l := &lowerer{b: b, vars: map[string]*ir.Instr{}, varTys: map[string]ir.IntType{}}
+	// Spill parameters, clang style.
+	for i, t := range p.paramTys {
+		a := b.Alloca(t)
+		b.Store(b.Param(i), a)
+		l.paramSlots = append(l.paramSlots, a)
+		l.paramTys = append(l.paramTys, t)
+	}
+	terminated, err := l.stmts(p.body)
+	if err != nil {
+		return nil, err
+	}
+	if !terminated {
+		// Implicit return for void or a zero return, like falling off
+		// the end of a C function.
+		if _, isVoid := p.retTy.(ir.VoidType); isVoid {
+			b.Ret(nil)
+		} else {
+			b.Ret(ir.NewConst(p.retTy.(ir.IntType), 0))
+		}
+	}
+	m := &ir.Module{Decls: p.decls, Funcs: []*ir.Function{b.Fn}}
+	ir.RenumberFunc(b.Fn)
+	if err := ir.VerifyModule(m); err != nil {
+		return nil, fmt.Errorf("dataset: lowered program invalid: %w", err)
+	}
+	return m, nil
+}
+
+type lowerer struct {
+	b          *ir.Builder
+	vars       map[string]*ir.Instr
+	varTys     map[string]ir.IntType
+	paramSlots []*ir.Instr
+	paramTys   []ir.IntType
+	blockSeq   int
+}
+
+func (l *lowerer) freshBlock(hint string) *ir.Block {
+	l.blockSeq++
+	return l.b.NewBlock(fmt.Sprintf("%s%d", hint, l.blockSeq))
+}
+
+// stmts lowers a statement list; reports whether the list definitely
+// terminated (returned) on all paths.
+func (l *lowerer) stmts(list []stmt) (bool, error) {
+	for i, s := range list {
+		term, err := l.stmt(s)
+		if err != nil {
+			return false, err
+		}
+		if term {
+			if i != len(list)-1 {
+				return false, fmt.Errorf("dataset: unreachable statements after return")
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (l *lowerer) stmt(s stmt) (bool, error) {
+	b := l.b
+	switch st := s.(type) {
+	case sDecl:
+		a := b.Alloca(st.ty)
+		l.vars[st.name] = a
+		l.varTys[st.name] = st.ty
+		if st.init != nil {
+			v, err := l.expr(st.init)
+			if err != nil {
+				return false, err
+			}
+			b.Store(v, a)
+		}
+		return false, nil
+	case sAssign:
+		a, ok := l.vars[st.name]
+		if !ok {
+			return false, fmt.Errorf("dataset: assign to undeclared %q", st.name)
+		}
+		v, err := l.expr(st.e)
+		if err != nil {
+			return false, err
+		}
+		b.Store(v, a)
+		return false, nil
+	case sExpr:
+		_, err := l.expr(st.e)
+		return false, err
+	case sRet:
+		if st.e == nil {
+			b.Ret(nil)
+			return true, nil
+		}
+		v, err := l.expr(st.e)
+		if err != nil {
+			return false, err
+		}
+		b.Ret(v)
+		return true, nil
+	case sIf:
+		c, err := l.expr(st.cond)
+		if err != nil {
+			return false, err
+		}
+		pre := b.Cur()
+		thenB := l.freshBlock("if.then")
+		var elseB *ir.Block
+		if st.els != nil {
+			elseB = l.freshBlock("if.else")
+		}
+		endB := l.freshBlock("if.end")
+		return l.lowerIf(c, st, pre, thenB, elseB, endB)
+	case sFor:
+		return l.lowerFor(st)
+	case sSwitch:
+		return l.lowerSwitch(st)
+	}
+	return false, fmt.Errorf("dataset: unknown statement %T", s)
+}
+
+func (l *lowerer) lowerIf(c ir.Value, st sIf, pre, thenB, elseB, endB *ir.Block) (bool, error) {
+	b := l.b
+	b.SetBlock(pre)
+	if elseB != nil {
+		b.CondBr(c, thenB, elseB)
+	} else {
+		b.CondBr(c, thenB, endB)
+	}
+
+	b.SetBlock(thenB)
+	thenTerm, err := l.stmts(st.then)
+	if err != nil {
+		return false, err
+	}
+	if !thenTerm {
+		b.Br(endB)
+	}
+
+	elseTerm := false
+	if elseB != nil {
+		b.SetBlock(elseB)
+		elseTerm, err = l.stmts(st.els)
+		if err != nil {
+			return false, err
+		}
+		if !elseTerm {
+			b.Br(endB)
+		}
+	}
+
+	if thenTerm && (elseB == nil || elseTerm) && elseB != nil {
+		// Both arms returned; endB is unreachable — drop it.
+		for i, blk := range b.Fn.Blocks {
+			if blk == endB {
+				b.Fn.Blocks = append(b.Fn.Blocks[:i], b.Fn.Blocks[i+1:]...)
+				break
+			}
+		}
+		return true, nil
+	}
+	b.SetBlock(endB)
+	return false, nil
+}
+
+func (l *lowerer) lowerFor(st sFor) (bool, error) {
+	b := l.b
+	ty, ok := l.varTys[st.ivar]
+	if !ok {
+		return false, fmt.Errorf("dataset: loop var %q not declared", st.ivar)
+	}
+	ivar := l.vars[st.ivar]
+	b.Store(ir.NewConst(ty, 0), ivar)
+
+	pre := b.Cur()
+	condB := l.freshBlock("for.cond")
+	bodyB := l.freshBlock("for.body")
+	incB := l.freshBlock("for.inc")
+	endB := l.freshBlock("for.end")
+
+	b.SetBlock(pre)
+	b.Br(condB)
+
+	b.SetBlock(condB)
+	iv := b.Load(ty, ivar)
+	cmp := b.ICmp(ir.PredSLT, iv, ir.NewConst(ty, st.count))
+	b.CondBr(cmp, bodyB, endB)
+
+	b.SetBlock(bodyB)
+	term, err := l.stmts(st.body)
+	if err != nil {
+		return false, err
+	}
+	if term {
+		return false, fmt.Errorf("dataset: return inside loop unsupported")
+	}
+	b.Br(incB)
+
+	b.SetBlock(incB)
+	iv2 := b.Load(ty, ivar)
+	next := b.Bin(ir.OpAdd, iv2, ir.NewConst(ty, 1))
+	b.Store(next, ivar)
+	b.Br(condB)
+
+	b.SetBlock(endB)
+	return false, nil
+}
+
+func (l *lowerer) lowerSwitch(st sSwitch) (bool, error) {
+	b := l.b
+	v, err := l.expr(st.value)
+	if err != nil {
+		return false, err
+	}
+	it, ok := v.Type().(ir.IntType)
+	if !ok {
+		return false, fmt.Errorf("dataset: switch on non-integer")
+	}
+	pre := b.Cur()
+	var caseBlocks []*ir.Block
+	var caseVals []*ir.Const
+	for _, sc := range st.cases {
+		caseBlocks = append(caseBlocks, l.freshBlock("sw.case"))
+		caseVals = append(caseVals, ir.NewConst(it, sc.val))
+	}
+	defB := l.freshBlock("sw.default")
+	endB := l.freshBlock("sw.end")
+
+	b.SetBlock(pre)
+	b.Switch(v, defB, caseVals, caseBlocks)
+
+	anyFallsThrough := false
+	for i, sc := range st.cases {
+		b.SetBlock(caseBlocks[i])
+		term, err := l.stmts(sc.body)
+		if err != nil {
+			return false, err
+		}
+		if !term {
+			b.Br(endB)
+			anyFallsThrough = true
+		}
+	}
+	b.SetBlock(defB)
+	defTerm, err := l.stmts(st.def)
+	if err != nil {
+		return false, err
+	}
+	if !defTerm {
+		b.Br(endB)
+		anyFallsThrough = true
+	}
+	if !anyFallsThrough {
+		// Every arm returned: endB is unreachable, drop it.
+		for i, blk := range b.Fn.Blocks {
+			if blk == endB {
+				b.Fn.Blocks = append(b.Fn.Blocks[:i], b.Fn.Blocks[i+1:]...)
+				break
+			}
+		}
+		return true, nil
+	}
+	b.SetBlock(endB)
+	return false, nil
+}
+
+func (l *lowerer) expr(e expr) (ir.Value, error) {
+	b := l.b
+	switch ex := e.(type) {
+	case eConst:
+		return ir.NewConst(ex.ty, ex.val), nil
+	case eParam:
+		if ex.idx >= len(l.paramSlots) {
+			return nil, fmt.Errorf("dataset: parameter %d out of range", ex.idx)
+		}
+		return b.Load(l.paramTys[ex.idx], l.paramSlots[ex.idx]), nil
+	case eVar:
+		a, ok := l.vars[ex.name]
+		if !ok {
+			return nil, fmt.Errorf("dataset: read of undeclared %q", ex.name)
+		}
+		return b.Load(l.varTys[ex.name], a), nil
+	case eBin:
+		x, err := l.expr(ex.l)
+		if err != nil {
+			return nil, err
+		}
+		y, err := l.expr(ex.r)
+		if err != nil {
+			return nil, err
+		}
+		return b.BinF(ex.op, x, y, ex.flags), nil
+	case eCmp:
+		x, err := l.expr(ex.l)
+		if err != nil {
+			return nil, err
+		}
+		y, err := l.expr(ex.r)
+		if err != nil {
+			return nil, err
+		}
+		return b.ICmp(ex.pred, x, y), nil
+	case eCast:
+		x, err := l.expr(ex.e)
+		if err != nil {
+			return nil, err
+		}
+		return b.Cast(ex.op, x, ex.to), nil
+	case eCall:
+		args := make([]ir.Value, len(ex.args))
+		for i, a := range ex.args {
+			v, err := l.expr(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return b.Call(ex.retTy, ex.callee, args...), nil
+	}
+	return nil, fmt.Errorf("dataset: unknown expression %T", e)
+}

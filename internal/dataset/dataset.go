@@ -1,0 +1,124 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/instcombine"
+	"veriopt/internal/ir"
+	"veriopt/internal/tokenizer"
+)
+
+// Sample is one training/evaluation pair: the -O0 style function and
+// the -instcombine reference output.
+type Sample struct {
+	Name     string
+	Template string
+	// Module holds declarations the function's calls need.
+	Module *ir.Module
+	// O0 is the unoptimized function, Ref the instcombine reference.
+	O0  *ir.Function
+	Ref *ir.Function
+	// O0Text/RefText are the canonical printed forms.
+	O0Text  string
+	RefText string
+}
+
+// Config controls corpus generation.
+type Config struct {
+	// Seed makes generation reproducible.
+	Seed int64
+	// N is the number of samples wanted (after filtering).
+	N int
+	// SkipVerify skips the Alive equivalence filter (faster; used by
+	// benchmarks that only need shape).
+	SkipVerify bool
+	// VerifyOptions configures the filter.
+	VerifyOptions alive.Options
+}
+
+// Generate builds a filtered corpus of N samples, mirroring §IV-A:
+// lower each synthesized program to -O0 form, label with instcombine,
+// keep only pairs the verifier proves equivalent and that fit the
+// 2048-token context window.
+func Generate(cfg Config) ([]*Sample, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("dataset: N must be positive")
+	}
+	if cfg.VerifyOptions.MaxPaths == 0 {
+		cfg.VerifyOptions = alive.DefaultOptions()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tmpls := Templates()
+	var out []*Sample
+	id := 0
+	attempts := 0
+	for len(out) < cfg.N {
+		attempts++
+		if attempts > cfg.N*20 {
+			return nil, fmt.Errorf("dataset: filter rejected too many samples (%d kept of %d attempts)", len(out), attempts)
+		}
+		tm := tmpls[id%len(tmpls)]
+		prog := tm.Gen(rng, id)
+		id++
+		s, err := build(prog, tm.Name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if s == nil {
+			continue // filtered
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func build(prog *program, tmpl string, cfg Config) (*Sample, error) {
+	m, err := lower(prog)
+	if err != nil {
+		return nil, err
+	}
+	o0 := m.Funcs[0]
+	ref := instcombine.Run(o0)
+	o0Text := ir.FuncString(o0)
+	refText := ir.FuncString(ref)
+	// Context-window filter (tokenized like the paper's 2048 cap).
+	if !tokenizer.FitsContext(o0Text) || !tokenizer.FitsContext(refText) {
+		return nil, nil
+	}
+	if !cfg.SkipVerify {
+		res := alive.VerifyFuncs(o0, ref, cfg.VerifyOptions)
+		if res.Verdict != alive.Equivalent {
+			// Inequivalent (a labeler bug) or unverifiable (deep loop):
+			// excluded from the corpus, as in the paper.
+			return nil, nil
+		}
+	}
+	return &Sample{
+		Name:     prog.name,
+		Template: tmpl,
+		Module:   m,
+		O0:       o0,
+		Ref:      ref,
+		O0Text:   o0Text,
+		RefText:  refText,
+	}, nil
+}
+
+// Split partitions samples into train and validation sets with the
+// given validation fraction, deterministically by seed. The split is
+// disjoint (no leakage), mirroring the paper's isolated validation
+// set.
+func Split(samples []*Sample, valFrac float64, seed int64) (train, val []*Sample) {
+	idx := rand.New(rand.NewSource(seed)).Perm(len(samples))
+	nVal := int(float64(len(samples)) * valFrac)
+	for i, j := range idx {
+		if i < nVal {
+			val = append(val, samples[j])
+		} else {
+			train = append(train, samples[j])
+		}
+	}
+	return train, val
+}

@@ -1,0 +1,480 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"veriopt/internal/ir"
+)
+
+// Template generates one family of functions; instances vary in
+// constants, widths, and shapes under a seeded RNG.
+type Template struct {
+	Name string
+	// Gen builds a program instance. Deterministic for a given RNG
+	// state.
+	Gen func(rng *rand.Rand, id int) *program
+}
+
+var widths = []ir.IntType{ir.I8, ir.I16, ir.I32, ir.I64}
+
+func anyWidth(rng *rand.Rand) ir.IntType { return widths[rng.Intn(len(widths))] }
+
+func smallConst(rng *rand.Rand, ty ir.IntType) eConst {
+	return eConst{ty: ty, val: int64(rng.Intn(64) - 16)}
+}
+
+func pow2Const2(rng *rand.Rand, ty ir.IntType) eConst {
+	k := 1 + rng.Intn(ty.Bits/2)
+	return eConst{ty: ty, val: 1 << uint(k)}
+}
+
+// p0 reads parameter 0, etc.
+func p(i int) expr { return eParam{idx: i} }
+
+func bin(op ir.Opcode, l, r expr) expr  { return eBin{op: op, l: l, r: r} }
+func binN(op ir.Opcode, l, r expr) expr { return eBin{op: op, flags: ir.Flags{NSW: true}, l: l, r: r} }
+
+// Templates returns the full registry in stable order.
+func Templates() []Template {
+	return []Template{
+		{Name: "arith-chain", Gen: genArithChain},
+		{Name: "identity-mix", Gen: genIdentityMix},
+		{Name: "strength-mul", Gen: genStrengthMul},
+		{Name: "strength-div", Gen: genStrengthDiv},
+		{Name: "xor-cancel", Gen: genXorCancel},
+		{Name: "negation", Gen: genNegation},
+		{Name: "cmp-chain", Gen: genCmpChain},
+		{Name: "branch-max", Gen: genBranchMax},
+		{Name: "branch-clamp", Gen: genBranchClamp},
+		{Name: "sign-splat", Gen: genSignSplat},
+		{Name: "cast-chain", Gen: genCastChain},
+		{Name: "known-bits", Gen: genKnownBits},
+		{Name: "const-ret", Gen: genConstRet},
+		{Name: "cond-call", Gen: genCondCall},
+		{Name: "call-arith", Gen: genCallArith},
+		{Name: "store-zero", Gen: genStoreZero},
+		{Name: "overflow-trap", Gen: genOverflowTrap},
+		{Name: "nonpow2-div", Gen: genNonPow2Div},
+		{Name: "bounded-loop", Gen: genBoundedLoop},
+		{Name: "deep-chain", Gen: genDeepChain},
+		{Name: "multi-var", Gen: genMultiVar},
+		{Name: "select-bool", Gen: genSelectBool},
+		{Name: "switch-table", Gen: genSwitchTable},
+	}
+}
+
+// genSwitchTable: a C switch over a masked value with small constant
+// arms — exercises the switch terminator through the whole stack.
+func genSwitchTable(rng *rand.Rand, id int) *program {
+	ty := ir.I32
+	nCases := 2 + rng.Intn(3)
+	var cases []switchCase
+	for i := 0; i < nCases; i++ {
+		cases = append(cases, switchCase{
+			val:  int64(i),
+			body: []stmt{sAssign{name: "r", e: eConst{ty: ty, val: int64(rng.Intn(50) - 10)}}},
+		})
+	}
+	return &program{
+		name: fmt.Sprintf("switch_table_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty},
+		body: []stmt{
+			sDecl{name: "r", ty: ty, init: eConst{ty: ty, val: -1}},
+			sSwitch{
+				value: bin(ir.OpAnd, p(0), eConst{ty: ty, val: 7}),
+				cases: cases,
+				def:   []stmt{sAssign{name: "r", e: bin(ir.OpAdd, p(0), eConst{ty: ty, val: 1})}},
+			},
+			sRet{e: eVar{name: "r"}},
+		},
+	}
+}
+
+// genArithChain: r = ((p0 + c1) + c2) + c3 — constant folding chains.
+func genArithChain(rng *rand.Rand, id int) *program {
+	ty := anyWidth(rng)
+	e := expr(p(0))
+	n := 2 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		e = bin(ir.OpAdd, e, smallConst(rng, ty))
+	}
+	return &program{
+		name: fmt.Sprintf("arith_chain_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty},
+		body:     []stmt{sRet{e: e}},
+	}
+}
+
+// genIdentityMix: identity-op noise around a real computation.
+func genIdentityMix(rng *rand.Rand, id int) *program {
+	ty := anyWidth(rng)
+	core := bin(ir.OpMul, p(0), eConst{ty: ty, val: 3})
+	wraps := []func(expr) expr{
+		func(e expr) expr { return bin(ir.OpAdd, e, eConst{ty: ty, val: 0}) },
+		func(e expr) expr { return bin(ir.OpMul, e, eConst{ty: ty, val: 1}) },
+		func(e expr) expr { return bin(ir.OpOr, e, eConst{ty: ty, val: 0}) },
+		func(e expr) expr { return bin(ir.OpXor, e, eConst{ty: ty, val: 0}) },
+		func(e expr) expr { return bin(ir.OpAnd, e, eConst{ty: ty, val: -1}) },
+		func(e expr) expr { return bin(ir.OpLShr, e, eConst{ty: ty, val: 0}) },
+	}
+	e := core
+	n := 2 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		e = wraps[rng.Intn(len(wraps))](e)
+	}
+	return &program{
+		name: fmt.Sprintf("identity_mix_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty},
+		body:     []stmt{sRet{e: e}},
+	}
+}
+
+// genStrengthMul: multiplications by powers of two.
+func genStrengthMul(rng *rand.Rand, id int) *program {
+	ty := anyWidth(rng)
+	e := bin(ir.OpMul, p(0), pow2Const2(rng, ty))
+	if rng.Intn(2) == 0 {
+		e = bin(ir.OpAdd, e, p(1))
+	} else {
+		e = bin(ir.OpSub, e, p(1))
+	}
+	return &program{
+		name: fmt.Sprintf("strength_mul_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty, ty},
+		body:     []stmt{sRet{e: e}},
+	}
+}
+
+// genStrengthDiv: division/remainder by powers of two (udiv, urem,
+// sdiv variants).
+func genStrengthDiv(rng *rand.Rand, id int) *program {
+	ty := anyWidth(rng)
+	ops := []ir.Opcode{ir.OpUDiv, ir.OpURem, ir.OpSDiv}
+	op := ops[rng.Intn(len(ops))]
+	e := eBin{op: op, l: p(0), r: pow2Const2(rng, ty)}
+	return &program{
+		name: fmt.Sprintf("strength_div_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty},
+		body:     []stmt{sRet{e: e}},
+	}
+}
+
+// genXorCancel: (p0 ^ p1) ^ p1 and and/or absorption shapes.
+func genXorCancel(rng *rand.Rand, id int) *program {
+	ty := anyWidth(rng)
+	var e expr
+	switch rng.Intn(3) {
+	case 0:
+		e = bin(ir.OpXor, bin(ir.OpXor, p(0), p(1)), p(1))
+	case 1:
+		e = bin(ir.OpAnd, bin(ir.OpOr, p(0), p(1)), p(0))
+	default:
+		e = bin(ir.OpOr, bin(ir.OpAnd, p(0), p(1)), p(0))
+	}
+	return &program{
+		name: fmt.Sprintf("xor_cancel_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty, ty},
+		body:     []stmt{sRet{e: e}},
+	}
+}
+
+// genNegation: double negation and add-of-negation.
+func genNegation(rng *rand.Rand, id int) *program {
+	ty := anyWidth(rng)
+	zero := eConst{ty: ty, val: 0}
+	var e expr
+	if rng.Intn(2) == 0 {
+		e = bin(ir.OpSub, zero, bin(ir.OpSub, zero, p(0)))
+	} else {
+		e = bin(ir.OpAdd, p(0), bin(ir.OpSub, zero, p(1)))
+	}
+	return &program{
+		name: fmt.Sprintf("negation_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty, ty},
+		body:     []stmt{sRet{e: e}},
+	}
+}
+
+// genCmpChain: compare of shifted value against constant, returned as
+// a widened bool.
+func genCmpChain(rng *rand.Rand, id int) *program {
+	ty := anyWidth(rng)
+	c1 := smallConst(rng, ty)
+	c2 := smallConst(rng, ty)
+	cmp := eCmp{pred: ir.PredEQ, l: bin(ir.OpAdd, p(0), c1), r: c2}
+	ret := eCast{op: ir.OpZExt, to: ir.I32, e: cmp}
+	if ty.Bits >= 32 {
+		ret = eCast{op: ir.OpZExt, to: ir.I64, e: cmp}
+	}
+	return &program{
+		name: fmt.Sprintf("cmp_chain_%d", id), retTy: ret.to,
+		paramTys: []ir.IntType{ty},
+		body:     []stmt{sRet{e: ret}},
+	}
+}
+
+// genBranchMax: if/else max/min via control flow — the diamond shape
+// that turns into select.
+func genBranchMax(rng *rand.Rand, id int) *program {
+	ty := anyWidth(rng)
+	pred := []ir.Pred{ir.PredSGT, ir.PredSLT, ir.PredUGT, ir.PredULT}[rng.Intn(4)]
+	return &program{
+		name: fmt.Sprintf("branch_max_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty, ty},
+		body: []stmt{
+			sDecl{name: "r", ty: ty, init: p(1)},
+			sIf{
+				cond: eCmp{pred: pred, l: p(0), r: p(1)},
+				then: []stmt{sAssign{name: "r", e: p(0)}},
+			},
+			sRet{e: eVar{name: "r"}},
+		},
+	}
+}
+
+// genBranchClamp: the paper Fig. 10 shape — a guarded affine rescale
+// with an early constant path.
+func genBranchClamp(rng *rand.Rand, id int) *program {
+	ty := ir.I32
+	limit := int64(4 + rng.Intn(20))
+	return &program{
+		name: fmt.Sprintf("branch_clamp_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty},
+		body: []stmt{
+			sIf{
+				cond: eCmp{pred: ir.PredULT, l: p(0), r: eConst{ty: ty, val: limit}},
+				then: []stmt{sRet{e: eConst{ty: ty, val: 0}}},
+			},
+			sRet{e: bin(ir.OpAdd,
+				bin(ir.OpLShr, bin(ir.OpAdd, p(0), eConst{ty: ty, val: -limit - 2}), eConst{ty: ty, val: 2}),
+				eConst{ty: ty, val: 3})},
+		},
+	}
+}
+
+// genSignSplat: (x < 0) ? -1 : 0 via branches.
+func genSignSplat(rng *rand.Rand, id int) *program {
+	ty := anyWidth(rng)
+	return &program{
+		name: fmt.Sprintf("sign_splat_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty},
+		body: []stmt{
+			sDecl{name: "r", ty: ty, init: eConst{ty: ty, val: 0}},
+			sIf{
+				cond: eCmp{pred: ir.PredSLT, l: p(0), r: eConst{ty: ty, val: 0}},
+				then: []stmt{sAssign{name: "r", e: eConst{ty: ty, val: -1}}},
+			},
+			sRet{e: eVar{name: "r"}},
+		},
+	}
+}
+
+// genCastChain: redundant widening chains.
+func genCastChain(rng *rand.Rand, id int) *program {
+	op := ir.OpZExt
+	if rng.Intn(2) == 0 {
+		op = ir.OpSExt
+	}
+	e := eCast{op: op, to: ir.I64,
+		e: eCast{op: op, to: ir.I32,
+			e: eCast{op: op, to: ir.I16, e: p(0)}}}
+	return &program{
+		name: fmt.Sprintf("cast_chain_%d", id), retTy: ir.I64,
+		paramTys: []ir.IntType{ir.I8},
+		body:     []stmt{sRet{e: e}},
+	}
+}
+
+// genKnownBits: masked value compared against an out-of-range bound.
+func genKnownBits(rng *rand.Rand, id int) *program {
+	ty := ir.I32
+	maskBits := 1 + rng.Intn(5)
+	mask := int64(1)<<uint(maskBits) - 1
+	cmp := eCmp{pred: ir.PredULT,
+		l: bin(ir.OpAnd, p(0), eConst{ty: ty, val: mask}),
+		r: eConst{ty: ty, val: mask + 1 + int64(rng.Intn(4))}}
+	return &program{
+		name: fmt.Sprintf("known_bits_%d", id), retTy: ir.I32,
+		paramTys: []ir.IntType{ty},
+		body:     []stmt{sRet{e: eCast{op: ir.OpZExt, to: ir.I32, e: cmp}}},
+	}
+}
+
+// genConstRet: fully constant computation (paper Fig. 12: InstCombine
+// precalculates everything).
+func genConstRet(rng *rand.Rand, id int) *program {
+	ty := ir.I32
+	c1 := int64(rng.Intn(100) - 50)
+	c2 := int64(rng.Intn(30) + 1)
+	e := bin(ir.OpSub, bin(ir.OpMul, eConst{ty: ty, val: c1}, eConst{ty: ty, val: c2}),
+		eConst{ty: ty, val: c1 + 9})
+	return &program{
+		name: fmt.Sprintf("const_ret_%d", id), retTy: ty,
+		paramTys: nil,
+		body: []stmt{
+			sDecl{name: "t", ty: ty, init: e},
+			sRet{e: eVar{name: "t"}},
+		},
+	}
+}
+
+// genCondCall: paper Fig. 9 shape — a conditional call with an alloca
+// round trip around it.
+func genCondCall(rng *rand.Rand, id int) *program {
+	ty := ir.I64
+	return &program{
+		name: fmt.Sprintf("cond_call_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty, ty},
+		decls: []*ir.Declaration{
+			{NameStr: "foo", RetTy: ir.Void, ParamTys: []ir.Type{ir.I32}},
+		},
+		body: []stmt{
+			sDecl{name: "sum", ty: ty, init: bin(ir.OpAdd, p(0), p(1))},
+			sIf{
+				cond: eCmp{pred: ir.PredULE, l: eVar{name: "sum"}, r: p(0)},
+				then: []stmt{sExpr{e: eCall{callee: "foo", retTy: ir.Void,
+					args: []expr{eConst{ty: ir.I32, val: 0}}}}},
+			},
+			sRet{e: eVar{name: "sum"}},
+		},
+	}
+}
+
+// genCallArith: call result used with removable identity arithmetic.
+func genCallArith(rng *rand.Rand, id int) *program {
+	ty := ir.I32
+	return &program{
+		name: fmt.Sprintf("call_arith_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty},
+		decls: []*ir.Declaration{
+			{NameStr: "ext", RetTy: ir.I32, ParamTys: []ir.Type{ir.I32}},
+		},
+		body: []stmt{
+			sDecl{name: "v", ty: ty, init: eCall{callee: "ext", retTy: ty, args: []expr{p(0)}}},
+			sRet{e: bin(ir.OpAdd, bin(ir.OpMul, eVar{name: "v"}, eConst{ty: ty, val: 1}), eConst{ty: ty, val: 0})},
+		},
+	}
+}
+
+// genStoreZero: the paper Fig. 8 shape — zero-initialized slot
+// reloaded and returned.
+func genStoreZero(rng *rand.Rand, id int) *program {
+	ty := ir.I64
+	return &program{
+		name: fmt.Sprintf("store_zero_%d", id), retTy: ty,
+		paramTys: nil,
+		body: []stmt{
+			sDecl{name: "s", ty: ty, init: eConst{ty: ty, val: 0}},
+			sRet{e: eVar{name: "s"}},
+		},
+	}
+}
+
+// genOverflowTrap: comparisons that look foldable but are overflow
+// sensitive — adversarial cases where hallucinated folds fail Alive.
+func genOverflowTrap(rng *rand.Rand, id int) *program {
+	ty := anyWidth(rng)
+	c := int64(1 + rng.Intn(9))
+	cmp := eCmp{pred: ir.PredSLT, l: p(0), r: bin(ir.OpAdd, p(0), eConst{ty: ty, val: c})}
+	return &program{
+		name: fmt.Sprintf("overflow_trap_%d", id), retTy: ir.I32,
+		paramTys: []ir.IntType{ty},
+		body:     []stmt{sRet{e: eCast{op: ir.OpZExt, to: ir.I32, e: cmp}}},
+	}
+}
+
+// genNonPow2Div: divisions instcombine keeps — tie cases.
+func genNonPow2Div(rng *rand.Rand, id int) *program {
+	ty := ir.I32
+	divisors := []int64{3, 5, 6, 7, 9, 10, 11, 100}
+	op := []ir.Opcode{ir.OpSDiv, ir.OpUDiv, ir.OpSRem}[rng.Intn(3)]
+	e := eBin{op: op, l: p(0), r: eConst{ty: ty, val: divisors[rng.Intn(len(divisors))]}}
+	return &program{
+		name: fmt.Sprintf("nonpow2_div_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty},
+		body:     []stmt{sRet{e: e}},
+	}
+}
+
+// genBoundedLoop: a short counted loop (validatable by bounded
+// unrolling).
+func genBoundedLoop(rng *rand.Rand, id int) *program {
+	ty := ir.I32
+	n := int64(2 + rng.Intn(3))
+	return &program{
+		name: fmt.Sprintf("bounded_loop_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty},
+		body: []stmt{
+			sDecl{name: "i", ty: ty},
+			sDecl{name: "acc", ty: ty, init: p(0)},
+			sFor{ivar: "i", count: n, body: []stmt{
+				sAssign{name: "acc", e: bin(ir.OpAdd, eVar{name: "acc"}, eConst{ty: ty, val: 1})},
+			}},
+			sRet{e: eVar{name: "acc"}},
+		},
+	}
+}
+
+// genDeepChain: long dependent chains — costly to fully optimize
+// within a bounded episode, producing the paper's "worse than
+// instcombine" tail.
+func genDeepChain(rng *rand.Rand, id int) *program {
+	ty := ir.I32
+	var body []stmt
+	body = append(body, sDecl{name: "a", ty: ty, init: p(0)})
+	n := 6 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		var e expr
+		switch rng.Intn(4) {
+		case 0:
+			e = bin(ir.OpAdd, eVar{name: "a"}, smallConst(rng, ty))
+		case 1:
+			e = bin(ir.OpMul, eVar{name: "a"}, eConst{ty: ty, val: 2})
+		case 2:
+			e = bin(ir.OpXor, eVar{name: "a"}, eConst{ty: ty, val: 0})
+		default:
+			e = bin(ir.OpAnd, eVar{name: "a"}, eConst{ty: ty, val: -1})
+		}
+		body = append(body, sAssign{name: "a", e: e})
+	}
+	body = append(body, sRet{e: eVar{name: "a"}})
+	return &program{
+		name: fmt.Sprintf("deep_chain_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty},
+		body:     body,
+	}
+}
+
+// genMultiVar: several interacting locals.
+func genMultiVar(rng *rand.Rand, id int) *program {
+	ty := ir.I32
+	return &program{
+		name: fmt.Sprintf("multi_var_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty, ty, ty},
+		body: []stmt{
+			sDecl{name: "x", ty: ty, init: bin(ir.OpAdd, p(0), p(1))},
+			sDecl{name: "y", ty: ty, init: bin(ir.OpMul, eVar{name: "x"}, eConst{ty: ty, val: 4})},
+			sDecl{name: "z", ty: ty, init: bin(ir.OpSub, eVar{name: "y"}, p(2))},
+			sRet{e: bin(ir.OpAdd, eVar{name: "z"}, eConst{ty: ty, val: 0})},
+		},
+	}
+}
+
+// genSelectBool: boolean materialization through branches.
+func genSelectBool(rng *rand.Rand, id int) *program {
+	ty := ir.I32
+	c := smallConst(rng, ty)
+	return &program{
+		name: fmt.Sprintf("select_bool_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty},
+		body: []stmt{
+			sDecl{name: "r", ty: ty, init: eConst{ty: ty, val: 0}},
+			sIf{
+				cond: eCmp{pred: ir.PredSGT, l: p(0), r: c},
+				then: []stmt{sAssign{name: "r", e: eConst{ty: ty, val: 1}}},
+			},
+			sRet{e: eVar{name: "r"}},
+		},
+	}
+}

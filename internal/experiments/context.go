@@ -1,0 +1,120 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation section (Tables I–III, Figures 4–12) plus the
+// design-choice ablations listed in DESIGN.md §6. Each experiment
+// renders a plain-text table and exposes its key numbers so
+// EXPERIMENTS.md can record measured-vs-paper values.
+package experiments
+
+import (
+	"fmt"
+
+	"veriopt/internal/baselines"
+	"veriopt/internal/dataset"
+	"veriopt/internal/pipeline"
+)
+
+// Config sizes an experiment run. Defaults are commodity-scale; the
+// paper-scale run uses CorpusN large enough for a 4,386-function
+// validation set.
+type Config struct {
+	// CorpusN is the total corpus size (train + validation).
+	CorpusN int
+	// ValFrac is the validation share.
+	ValFrac float64
+	// Seed drives corpus generation and training.
+	Seed int64
+	// Stage configures the curriculum.
+	Stage pipeline.StageConfig
+}
+
+// DefaultConfig returns the reduced-scale defaults used by tests and
+// benchmarks.
+func DefaultConfig() Config {
+	return Config{
+		CorpusN: 240,
+		ValFrac: 0.33,
+		Seed:    42,
+		Stage:   pipeline.DefaultStageConfig(),
+	}
+}
+
+// Context lazily builds and caches the expensive shared artifacts:
+// the corpus, the trained curriculum, and the baseline suite.
+type Context struct {
+	Cfg Config
+
+	samples []*dataset.Sample
+	train   []*dataset.Sample
+	val     []*dataset.Sample
+	res     *pipeline.Result
+	bl      []*baselines.Baseline
+	// Progress, when non-nil, receives coarse progress messages.
+	Progress func(msg string)
+}
+
+// NewContext returns an empty context for the given config.
+func NewContext(cfg Config) *Context { return &Context{Cfg: cfg} }
+
+func (c *Context) progress(format string, args ...interface{}) {
+	if c.Progress != nil {
+		c.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Corpus returns the generated samples, building them on first use.
+func (c *Context) Corpus() ([]*dataset.Sample, error) {
+	if c.samples == nil {
+		c.progress("generating corpus (%d samples)...", c.Cfg.CorpusN)
+		s, err := dataset.Generate(dataset.Config{Seed: c.Cfg.Seed, N: c.Cfg.CorpusN})
+		if err != nil {
+			return nil, err
+		}
+		c.samples = s
+		c.train, c.val = dataset.Split(s, c.Cfg.ValFrac, c.Cfg.Seed+1000)
+	}
+	return c.samples, nil
+}
+
+// Train returns the training split.
+func (c *Context) Train() ([]*dataset.Sample, error) {
+	if _, err := c.Corpus(); err != nil {
+		return nil, err
+	}
+	return c.train, nil
+}
+
+// Val returns the validation split (strictly disjoint from training).
+func (c *Context) Val() ([]*dataset.Sample, error) {
+	if _, err := c.Corpus(); err != nil {
+		return nil, err
+	}
+	return c.val, nil
+}
+
+// Pipeline returns the trained curriculum, running it on first use.
+func (c *Context) Pipeline() (*pipeline.Result, error) {
+	if c.res == nil {
+		train, err := c.Train()
+		if err != nil {
+			return nil, err
+		}
+		cfg := c.Cfg.Stage
+		cfg.Seed = c.Cfg.Seed
+		c.progress("training curriculum (stages 1-3)...")
+		c.res = pipeline.Run(train, cfg)
+	}
+	return c.res, nil
+}
+
+// Baselines returns the Fig. 5 comparison suite.
+func (c *Context) Baselines() ([]*baselines.Baseline, error) {
+	if c.bl == nil {
+		train, err := c.Train()
+		if err != nil {
+			return nil, err
+		}
+		c.progress("training SFT baselines...")
+		c.bl = baselines.Suite(train, c.Cfg.Seed+5000)
+	}
+	return c.bl, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	testCtxOnce sync.Once
+	testCtx     *Context
+)
+
+func sharedCtx(t *testing.T) *Context {
+	t.Helper()
+	testCtxOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.CorpusN = 100
+		cfg.Stage.Stage1Steps = 6
+		cfg.Stage.Stage2Steps = 40
+		cfg.Stage.Stage3Steps = 30
+		testCtx = NewContext(cfg)
+	})
+	return testCtx
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	c := sharedCtx(t)
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			out, err := Run(id, c)
+			if err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			if out.ID != id {
+				t.Errorf("outcome id %q != %q", out.ID, id)
+			}
+			if strings.TrimSpace(out.Text) == "" {
+				t.Error("empty rendered text")
+			}
+			if len(out.Numbers) == 0 {
+				t.Error("no measured numbers exposed")
+			}
+			rendered := Render(out)
+			if !strings.Contains(rendered, out.Title) {
+				t.Error("render missing title")
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", sharedCtx(t)); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestTable1MatchesTableIShape(t *testing.T) {
+	out, err := Run("table1", sharedCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := out.Numbers
+	// The base model must be dominated by copies with substantial
+	// syntax-error mass — the Table I profile (±20 points at this
+	// reduced scale).
+	if n["copies_pct"] < 30 || n["copies_pct"] > 85 {
+		t.Errorf("copies_pct = %.1f outside Table I band", n["copies_pct"])
+	}
+	if n["syntax_pct"] < 5 {
+		t.Errorf("syntax_pct = %.1f, Table I expects a visible syntax-error mass", n["syntax_pct"])
+	}
+	if n["different_correct_pct"] > 35 {
+		t.Errorf("different_correct_pct = %.1f, base model should rarely optimize", n["different_correct_pct"])
+	}
+}
+
+func TestTable2BeatsTable1(t *testing.T) {
+	t1, err := Run("table1", sharedCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Run("table2", sharedCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.Numbers["latency_diff_correct_pct"] <= t1.Numbers["different_correct_pct"] {
+		t.Errorf("trained model (%.1f%%) must beat base (%.1f%%) on different-correct",
+			t2.Numbers["latency_diff_correct_pct"], t1.Numbers["different_correct_pct"])
+	}
+}
+
+func TestFig6HasAllThreeBuckets(t *testing.T) {
+	out, err := Run("fig6", sharedCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := out.Numbers
+	sum := n["latency_better_pct"] + n["latency_worse_pct"] + n["latency_tie_pct"]
+	if sum < 99.9 || sum > 100.1 {
+		t.Errorf("latency buckets sum to %.1f, want 100", sum)
+	}
+	if n["veriopt_speedup"] <= 1 {
+		t.Errorf("veriopt speedup %.2f, want > 1", n["veriopt_speedup"])
+	}
+	if n["instcombine_speedup"] <= 1 {
+		t.Errorf("instcombine speedup %.2f, want > 1", n["instcombine_speedup"])
+	}
+	if n["hybrid_latency_gain_pct"] < 0 {
+		t.Errorf("hybrid gain %.2f%% negative", n["hybrid_latency_gain_pct"])
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := sparkline([]float64{0, 1, 2, 3}, 10)
+	if len([]rune(s)) == 0 {
+		t.Error("empty sparkline")
+	}
+	if sparkline(nil, 10) != "" {
+		t.Error("nil series should render empty")
+	}
+	// Constant series must not panic or divide by zero.
+	_ = sparkline([]float64{5, 5, 5}, 10)
+}

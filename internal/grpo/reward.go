@@ -1,0 +1,187 @@
+// Package grpo implements Group Relative Policy Optimization with the
+// paper's verification-guided rewards: the hierarchical correctness
+// reward (Eq. 1), the Chain-of-Thought diagnostic-agreement reward
+// (Eq. 2), and the latency-shaping reward (Eqs. 3–4), with the
+// paper's §IV-B GRPO modifications — no KL penalty (gradient clipping
+// instead), single update per rollout batch, and token-level loss
+// normalization (DAPO-style).
+package grpo
+
+import (
+	"math"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/bleu"
+	"veriopt/internal/costmodel"
+	"veriopt/internal/dataset"
+	"veriopt/internal/ir"
+	"veriopt/internal/policy"
+)
+
+// Judgment is the verifier's view of one episode: the attempt's and
+// the final answer's verdicts, plus the reward ingredients.
+type Judgment struct {
+	// AttemptVerdict is the verdict for the <think>-block attempt.
+	AttemptVerdict alive.Result
+	// FinalVerdict is the verdict for the <answer>-block output.
+	FinalVerdict alive.Result
+	// FinalFn is the parsed final function (nil on syntax error).
+	FinalFn *ir.Function
+	// ExactMatch reports canonical-text equality with the reference.
+	ExactMatch bool
+	// Bleu is BLEU(final, reference).
+	Bleu float64
+	// AttemptExact/AttemptBleu are the same measures for the
+	// think-block attempt (used for per-segment credit assignment).
+	AttemptExact bool
+	AttemptBleu  float64
+	// Speedup is t(O0)/t(final) when FinalFn verified, else 0.
+	Speedup float64
+	// Copied mirrors Episode.Copied.
+	Copied bool
+}
+
+// Judge verifies an episode against its sample. opts bounds the
+// verifier work per query.
+func Judge(ep *policy.Episode, s *dataset.Sample, opts alive.Options) *Judgment {
+	j := &Judgment{Copied: ep.Copied}
+	j.FinalVerdict, j.FinalFn = verdictOf(ep.FinalText, s, opts)
+	if ep.Diag != nil && ep.AttemptText != ep.FinalText {
+		j.AttemptVerdict, _ = verdictOf(ep.AttemptText, s, opts)
+	} else {
+		j.AttemptVerdict = j.FinalVerdict
+	}
+	j.ExactMatch = ir.FingerprintText(ep.FinalText) == ir.FingerprintText(s.RefText)
+	j.Bleu = bleu.ScoreText(ep.FinalText, s.RefText)
+	if ep.AttemptText == ep.FinalText {
+		j.AttemptExact, j.AttemptBleu = j.ExactMatch, j.Bleu
+	} else {
+		j.AttemptExact = ir.FingerprintText(ep.AttemptText) == ir.FingerprintText(s.RefText)
+		j.AttemptBleu = bleu.ScoreText(ep.AttemptText, s.RefText)
+	}
+	if j.FinalVerdict.Verdict == alive.Equivalent && j.FinalFn != nil {
+		base := costmodel.Measure(s.O0)
+		opt := costmodel.Measure(j.FinalFn)
+		j.Speedup = costmodel.Speedup(base, opt)
+	}
+	return j
+}
+
+func verdictOf(text string, s *dataset.Sample, opts alive.Options) (alive.Result, *ir.Function) {
+	f, err := ir.ParseFunc(text)
+	if err != nil {
+		return alive.Result{Verdict: alive.SyntaxError,
+			Diag: "ERROR: couldn't parse transformed IR: " + err.Error()}, nil
+	}
+	if err := ir.VerifyFunc(f); err != nil {
+		return alive.Result{Verdict: alive.SyntaxError, Diag: "ERROR: invalid IR: " + err.Error()}, nil
+	}
+	return alive.VerifyFuncs(s.O0, f, opts), f
+}
+
+// CorrectnessReward is the paper's Eq. 1:
+//
+//	r = t·(1 + a·(1 + m)) + b
+//
+// with t format compliance, a Alive2 equivalence, m exact match with
+// the reference, b the BLEU similarity.
+func CorrectnessReward(ep *policy.Episode, j *Judgment) float64 {
+	t := 0.0
+	if ep.FormatOK {
+		t = 1
+	}
+	a := 0.0
+	if j.FinalVerdict.Verdict == alive.Equivalent {
+		a = 1
+	}
+	m := 0.0
+	if j.ExactMatch && a == 1 {
+		m = 1
+	}
+	return t*(1+a*(1+m)) + j.Bleu
+}
+
+// AttemptReward applies Eq. 1 to the think-block attempt: the reward
+// whose group-relative advantage trains the attempt's action tokens.
+func AttemptReward(ep *policy.Episode, j *Judgment) float64 {
+	t := 0.0
+	if ep.FormatOK {
+		t = 1
+	}
+	a := 0.0
+	if j.AttemptVerdict.Verdict == alive.Equivalent {
+		a = 1
+	}
+	m := 0.0
+	if j.AttemptExact && a == 1 {
+		m = 1
+	}
+	return t*(1+a*(1+m)) + j.AttemptBleu
+}
+
+// CoTReward is the paper's Eq. 2: full credit when model and verifier
+// agree the attempt is OK, partial credit scaled by diagnostic BLEU
+// when both agree on an error, zero on disagreement.
+func CoTReward(ep *policy.Episode, j *Judgment) float64 {
+	if ep.Diag == nil {
+		return 0
+	}
+	verifierOK := j.AttemptVerdict.Verdict == alive.Equivalent
+	modelOK := ep.Diag.PredictedClass == policy.DiagOK
+	switch {
+	case verifierOK && modelOK:
+		return 1
+	case !verifierOK && !modelOK:
+		return 0.5 + 0.5*bleu.ScoreText(ep.Diag.Message, j.AttemptVerdict.Diag)
+	default:
+		return 0
+	}
+}
+
+// LatencyRewardParams configures Eqs. 3–4.
+type LatencyRewardParams struct {
+	// UMax is the saturation threshold — the paper sets it to the 80th
+	// percentile of instcombine's speedups on the training set.
+	UMax float64
+	// Gamma is the convex shaping exponent (> 1).
+	Gamma float64
+}
+
+// LatencyReward is the paper's Eq. 4: zero unless the output verified
+// (S=1) and sped up (u>1); then a convex, saturating share of the
+// speedup.
+func LatencyReward(j *Judgment, p LatencyRewardParams) float64 {
+	if j.FinalVerdict.Verdict != alive.Equivalent || j.Speedup <= 1 {
+		return 0
+	}
+	frac := (j.Speedup - 1) / (p.UMax - 1)
+	if frac > 1 {
+		frac = 1
+	}
+	return math.Pow(frac, p.Gamma)
+}
+
+// ComputeUMax returns the given percentile of instcombine's speedups
+// over the corpus (paper: 80th percentile).
+func ComputeUMax(samples []*dataset.Sample, percentile float64) float64 {
+	var ups []float64
+	for _, s := range samples {
+		u := costmodel.Speedup(costmodel.Measure(s.O0), costmodel.Measure(s.Ref))
+		ups = append(ups, u)
+	}
+	if len(ups) == 0 {
+		return 2
+	}
+	// Insertion sort is fine at corpus scale.
+	for i := 1; i < len(ups); i++ {
+		for k := i; k > 0 && ups[k] < ups[k-1]; k-- {
+			ups[k], ups[k-1] = ups[k-1], ups[k]
+		}
+	}
+	idx := int(percentile / 100 * float64(len(ups)-1))
+	u := ups[idx]
+	if u <= 1.01 {
+		u = 1.5
+	}
+	return u
+}

@@ -1,0 +1,428 @@
+package grpo
+
+import (
+	"math"
+	"math/rand"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/dataset"
+	"veriopt/internal/policy"
+)
+
+// RewardMode selects the training objective.
+type RewardMode int
+
+// Reward modes for the curriculum stages.
+const (
+	// ModeCorrectness uses Eq. 1 only (Model Zero, generic prompt).
+	ModeCorrectness RewardMode = iota
+	// ModeCorrectnessCoT uses Eq. 1 + Eq. 2 (Model-Correctness,
+	// augmented prompt).
+	ModeCorrectnessCoT
+	// ModeLatency uses Eqs. 3–4 (Model-Latency; labels unused).
+	ModeLatency
+)
+
+// Config parameterizes the trainer.
+type Config struct {
+	// GroupSize is G, the number of rollouts per input compared
+	// against each other (relative advantages).
+	GroupSize int
+	// BatchInputs is the number of inputs per optimization step.
+	BatchInputs int
+	// LR is the gradient-ascent learning rate.
+	LR float64
+	// ClipNorm bounds the global gradient norm (the paper's stability
+	// device in place of the KL penalty).
+	ClipNorm float64
+	// Temperature for rollout sampling.
+	Temperature float64
+	// Mode selects the reward.
+	Mode RewardMode
+	// Augmented enables the diagnose-and-correct protocol during
+	// rollouts.
+	Augmented bool
+	// Latency holds Eq. 3–4 parameters (Mode == ModeLatency).
+	Latency LatencyRewardParams
+	// Verify bounds each verification query during training.
+	Verify alive.Options
+	// SeqLevelNorm switches from token-level (DAPO-style, the paper's
+	// choice) to per-sequence loss normalization — kept for the
+	// ablation study.
+	SeqLevelNorm bool
+	// NoGroupBaseline replaces group-relative advantages with raw
+	// rewards (REINFORCE) — kept for the ablation study.
+	NoGroupBaseline bool
+	// NoBleuShaping zeroes the BLEU term b_i of Eq. 1 — ablation of
+	// the gradient-starvation mitigation.
+	NoBleuShaping bool
+}
+
+// DefaultConfig returns the settings used by the reproduction's
+// training runs.
+func DefaultConfig() Config {
+	return Config{
+		GroupSize:   6,
+		BatchInputs: 8,
+		LR:          30,
+		ClipNorm:    5,
+		Temperature: 1.0,
+		Verify:      alive.Options{MaxPaths: 256, MaxSteps: 2048, SolverBudget: 40000},
+	}
+}
+
+// StepStats summarizes one optimization step.
+type StepStats struct {
+	MeanReward   float64
+	MeanCoT      float64
+	VerifiedFrac float64
+	CopyFrac     float64
+	GradNorm     float64
+	Episodes     int
+}
+
+// FailureSample is a Model Zero mistake harvested for the
+// diagnostic-augmented corpus (Stage 1 of the pipeline).
+type FailureSample struct {
+	Sample      *dataset.Sample
+	AttemptText string
+	// TrueDiag is the verifier's actual diagnostic.
+	TrueDiag string
+	// TrueClass is the verdict category of the attempt.
+	TrueClass policy.DiagClass
+	// UsedRules names the rules the failing trajectory applied.
+	UsedRules []string
+}
+
+// Trainer runs GRPO over a model and corpus.
+type Trainer struct {
+	Model *policy.Model
+	Cfg   Config
+	Data  []*dataset.Sample
+	Rng   *rand.Rand
+
+	// Failures accumulates Model Zero mistakes when CollectFailures is
+	// set.
+	CollectFailures bool
+	Failures        []*FailureSample
+
+	// RewardHistory records the mean raw reward per step (Fig. 4).
+	RewardHistory []float64
+
+	cursor int
+}
+
+// NewTrainer wires a trainer.
+func NewTrainer(m *policy.Model, data []*dataset.Sample, cfg Config, seed int64) *Trainer {
+	return &Trainer{Model: m, Cfg: cfg, Data: data, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// episodeScore pairs an episode with its judgment and reward. The
+// total reward r = rAnswer + rThink; the components keep separate
+// group-relative advantages so that think-block tokens (the attempt
+// and the diagnosis) are not credited with the corrected answer's
+// reward — without the split, a corrupt-then-correct episode would
+// reinforce corrupting first.
+type episodeScore struct {
+	ep       *policy.Episode
+	j        *Judgment
+	r        float64
+	rAnswer  float64
+	rThink   float64
+	rAttempt float64
+}
+
+// grads accumulates parameter gradients matching the model layout.
+type grads struct {
+	b, s, p []float64
+	n       [][]float64
+	diagW   [][]float64
+}
+
+func newGrads(m *policy.Model) *grads {
+	g := &grads{
+		b: make([]float64, m.NumActions()),
+		s: make([]float64, m.NumActions()),
+		p: make([]float64, m.NumActions()),
+		n: make([][]float64, m.NumActions()),
+	}
+	for i := range g.n {
+		g.n[i] = make([]float64, m.Cap.HashFeatures)
+	}
+	g.diagW = make([][]float64, len(m.Diag.W))
+	for i := range g.diagW {
+		g.diagW[i] = make([]float64, len(m.Diag.W[i]))
+	}
+	return g
+}
+
+// Step performs one GRPO update: sample a batch of inputs, roll out G
+// completions each, verify, compute group-relative advantages, and
+// apply a single clipped gradient-ascent update.
+func (tr *Trainer) Step() StepStats {
+	m := tr.Model
+	cfg := tr.Cfg
+	g := newGrads(m)
+
+	var stats StepStats
+	totalTokens := 0
+
+	// Collect all (episode, advantage) pairs first so token-level
+	// normalization can use the global batch token count.
+	var all []episodeScore
+	var advs []advPair
+
+	for bi := 0; bi < cfg.BatchInputs; bi++ {
+		s := tr.Data[tr.cursor%len(tr.Data)]
+		tr.cursor++
+		group := make([]episodeScore, cfg.GroupSize)
+		for gi := 0; gi < cfg.GroupSize; gi++ {
+			ep := m.Generate(s.O0, policy.GenOptions{
+				Temperature: cfg.Temperature,
+				Rng:         tr.Rng,
+				Augmented:   cfg.Augmented,
+			})
+			j := Judge(ep, s, cfg.Verify)
+			es := episodeScore{ep: ep, j: j}
+			switch cfg.Mode {
+			case ModeCorrectness, ModeCorrectnessCoT:
+				es.rAnswer = CorrectnessReward(ep, j)
+				if cfg.NoBleuShaping {
+					es.rAnswer -= j.Bleu
+				}
+				if cfg.Mode == ModeCorrectnessCoT {
+					es.rThink = CoTReward(ep, j)
+					es.rAttempt = AttemptReward(ep, j)
+				}
+			case ModeLatency:
+				es.rAnswer = LatencyReward(j, cfg.Latency)
+			}
+			es.r = es.rAnswer + es.rThink
+			group[gi] = es
+
+			if tr.CollectFailures && j.AttemptVerdict.Verdict != alive.Equivalent {
+				tr.Failures = append(tr.Failures, &FailureSample{
+					Sample:      s,
+					AttemptText: ep.AttemptText,
+					TrueDiag:    j.AttemptVerdict.Diag,
+					TrueClass:   classOf(j.AttemptVerdict.Verdict),
+					UsedRules:   usedRules(m, ep),
+				})
+			}
+		}
+		// Group-relative advantages, one per reward component.
+		meanA, stdA := meanStdOf(group, func(e episodeScore) float64 { return e.rAnswer })
+		meanT, stdT := meanStdOf(group, func(e episodeScore) float64 { return e.rThink })
+		meanAt, stdAt := meanStdOf(group, func(e episodeScore) float64 { return e.rAttempt })
+		for _, es := range group {
+			adv := advPair{answer: es.rAnswer, think: es.rThink, attempt: es.rAttempt}
+			if !cfg.NoGroupBaseline {
+				adv.answer = (es.rAnswer - meanA) / (stdA + 1e-6)
+				adv.think = (es.rThink - meanT) / (stdT + 1e-6)
+				adv.attempt = (es.rAttempt - meanAt) / (stdAt + 1e-6)
+			}
+			all = append(all, es)
+			advs = append(advs, adv)
+			totalTokens += tokensOf(es.ep)
+			stats.MeanReward += es.r
+			stats.MeanCoT += es.rThink
+			if es.j.FinalVerdict.Verdict == alive.Equivalent {
+				stats.VerifiedFrac++
+			}
+			if es.ep.Copied {
+				stats.CopyFrac++
+			}
+		}
+	}
+	stats.Episodes = len(all)
+	if stats.Episodes > 0 {
+		stats.MeanReward /= float64(stats.Episodes)
+		stats.MeanCoT /= float64(stats.Episodes)
+		stats.VerifiedFrac /= float64(stats.Episodes)
+		stats.CopyFrac /= float64(stats.Episodes)
+	}
+	tr.RewardHistory = append(tr.RewardHistory, stats.MeanReward)
+
+	// Accumulate policy gradients.
+	for i, es := range all {
+		adv := advs[i]
+		norm := float64(totalTokens)
+		if cfg.SeqLevelNorm {
+			norm = float64(tokensOf(es.ep)) * float64(len(all))
+		}
+		if norm == 0 {
+			continue
+		}
+		tr.accumulateEpisode(g, es.ep, advPair{answer: adv.answer / norm, think: adv.think / norm, attempt: adv.attempt / norm})
+	}
+
+	stats.GradNorm = tr.apply(g)
+	return stats
+}
+
+// advPair carries the per-component advantages.
+type advPair struct{ answer, think, attempt float64 }
+
+// accumulateEpisode adds ∇ log π(trajectory) · advantage into g,
+// routing each component's advantage to the tokens that produced it:
+// the attempt gets the think advantage (plus the answer advantage
+// when it *is* the answer), the correction gets the answer advantage,
+// and the diagnosis decision gets the think advantage.
+func (tr *Trainer) accumulateEpisode(g *grads, ep *policy.Episode, adv advPair) {
+	m := tr.Model
+	addRecords := func(recs []policy.ActionRecord, h []float64, scale float64) {
+		for _, rec := range recs {
+			probs := m.Softmax(rec.Cands, rec.StepFrac, rec.Work, h, tr.Cfg.Temperature)
+			for i, a := range rec.Cands {
+				ind := 0.0
+				if i == rec.Chosen {
+					ind = 1
+				}
+				coeff := (ind - probs[i]) * scale
+				g.b[a] += coeff
+				g.s[a] += coeff * rec.StepFrac
+				g.p[a] += coeff * rec.Work
+			}
+		}
+	}
+	// Attempt tokens are judged by the attempt's own Eq. 1 (per-segment
+	// credit assignment; without this, copy-and-predict-OK episodes
+	// harvest the trivially-perfect CoT reward through their stop
+	// token). Correction tokens are judged by the final answer; the
+	// diagnosis decision by the CoT agreement.
+	attemptScale := adv.attempt
+	if ep.CorrectionUsed {
+		addRecords(ep.CorrectionActs, ep.CorrH, adv.answer)
+	} else if ep.Diag == nil {
+		attemptScale = adv.answer // generic prompt: answer == attempt
+	}
+	addRecords(ep.Actions, ep.H, attemptScale)
+	if ep.Diag != nil {
+		f := ep.Diag.Features
+		probs := m.Diag.ClassProbs(f, tr.Cfg.Temperature)
+		for c := range probs {
+			ind := 0.0
+			if c == ep.Diag.ClassIdx {
+				ind = 1
+			}
+			coeff := (ind - probs[c]) * adv.think
+			for j, fj := range f {
+				g.diagW[c][j] += coeff * fj
+			}
+		}
+	}
+}
+
+// apply performs the single clipped gradient-ascent update, returning
+// the pre-clip gradient norm.
+func (tr *Trainer) apply(g *grads) float64 {
+	m := tr.Model
+	norm := 0.0
+	walk := func(vs []float64) {
+		for _, v := range vs {
+			norm += v * v
+		}
+	}
+	walk(g.b)
+	walk(g.s)
+	walk(g.p)
+	for _, row := range g.n {
+		walk(row)
+	}
+	for _, row := range g.diagW {
+		walk(row)
+	}
+	norm = math.Sqrt(norm)
+	scale := tr.Cfg.LR
+	if tr.Cfg.ClipNorm > 0 && norm > tr.Cfg.ClipNorm {
+		scale *= tr.Cfg.ClipNorm / norm
+	}
+	// N is frozen: it models the pretrained network's fixed per-input
+	// idiosyncrasies, the irreducible error source of Table II.
+	for a := range g.b {
+		m.B[a] += scale * g.b[a]
+		m.S[a] += scale * g.s[a]
+		m.P[a] += scale * g.p[a]
+	}
+	for c := range g.diagW {
+		for j := range g.diagW[c] {
+			m.Diag.W[c][j] += scale * g.diagW[c][j]
+		}
+	}
+	m.Clamp()
+	return norm
+}
+
+func meanStdOf(group []episodeScore, f func(episodeScore) float64) (float64, float64) {
+	if len(group) == 0 {
+		return 0, 0
+	}
+	mean := 0.0
+	for _, es := range group {
+		mean += f(es)
+	}
+	mean /= float64(len(group))
+	varsum := 0.0
+	for _, es := range group {
+		d := f(es) - mean
+		varsum += d * d
+	}
+	return mean, math.Sqrt(varsum / float64(len(group)))
+}
+
+func tokensOf(ep *policy.Episode) int {
+	n := len(ep.Actions) + len(ep.CorrectionActs)
+	if ep.Diag != nil {
+		n++
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+func classOf(v alive.Verdict) policy.DiagClass {
+	switch v {
+	case alive.SyntaxError:
+		return policy.DiagSyntaxError
+	case alive.Equivalent:
+		return policy.DiagOK
+	default:
+		return policy.DiagSemanticError
+	}
+}
+
+func usedRules(m *policy.Model, ep *policy.Episode) []string {
+	var out []string
+	for _, rec := range ep.Actions {
+		a := rec.Cands[rec.Chosen]
+		if a < len(m.Rules) {
+			out = append(out, m.Rules[a].Name)
+		}
+	}
+	return out
+}
+
+// Train runs n steps, returning the per-step stats.
+func (tr *Trainer) Train(n int) []StepStats {
+	out := make([]StepStats, n)
+	for i := 0; i < n; i++ {
+		out[i] = tr.Step()
+	}
+	return out
+}
+
+// EMA smooths a series with the paper's 0.95 exponential moving
+// average (Fig. 4 presentation).
+func EMA(series []float64, alpha float64) []float64 {
+	out := make([]float64, len(series))
+	if len(series) == 0 {
+		return out
+	}
+	acc := series[0]
+	for i, v := range series {
+		acc = alpha*acc + (1-alpha)*v
+		out[i] = acc
+	}
+	return out
+}

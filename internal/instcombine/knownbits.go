@@ -1,0 +1,96 @@
+package instcombine
+
+import "veriopt/internal/ir"
+
+// known holds bit-level facts about a value: bits proven zero and
+// bits proven one (disjoint sets).
+type known struct {
+	zeros uint64
+	ones  uint64
+	width int
+}
+
+func (k known) mask() uint64 {
+	if k.width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(k.width)) - 1
+}
+
+// knownBits computes known zero/one bits of v to a bounded recursion
+// depth, a lightweight version of LLVM's computeKnownBits.
+func knownBits(v ir.Value, depth int) known {
+	it, ok := ir.IsInt(v.Type())
+	if !ok {
+		return known{}
+	}
+	k := known{width: it.Bits}
+	if c, isC := mConst(v); isC {
+		k.ones = c.Val & it.Mask()
+		k.zeros = ^c.Val & it.Mask()
+		return k
+	}
+	if depth <= 0 {
+		return k
+	}
+	in, isIn := v.(*ir.Instr)
+	if !isIn {
+		return k
+	}
+	switch in.Op {
+	case ir.OpAnd:
+		a := knownBits(in.Args[0], depth-1)
+		b := knownBits(in.Args[1], depth-1)
+		k.zeros = a.zeros | b.zeros
+		k.ones = a.ones & b.ones
+	case ir.OpOr:
+		a := knownBits(in.Args[0], depth-1)
+		b := knownBits(in.Args[1], depth-1)
+		k.ones = a.ones | b.ones
+		k.zeros = a.zeros & b.zeros
+	case ir.OpXor:
+		a := knownBits(in.Args[0], depth-1)
+		b := knownBits(in.Args[1], depth-1)
+		bothKnown := (a.zeros | a.ones) & (b.zeros | b.ones)
+		val := (a.ones ^ b.ones) & bothKnown
+		k.ones = val
+		k.zeros = ^val & bothKnown & k.mask()
+	case ir.OpShl:
+		if c, isC := mConst(in.Args[1]); isC && c.Val < uint64(it.Bits) {
+			a := knownBits(in.Args[0], depth-1)
+			k.ones = (a.ones << c.Val) & k.mask()
+			k.zeros = ((a.zeros << c.Val) | ((1 << c.Val) - 1)) & k.mask()
+		}
+	case ir.OpLShr:
+		if c, isC := mConst(in.Args[1]); isC && c.Val < uint64(it.Bits) {
+			a := knownBits(in.Args[0], depth-1)
+			k.ones = (a.ones & k.mask()) >> c.Val
+			high := k.mask() &^ (k.mask() >> c.Val)
+			k.zeros = ((a.zeros & k.mask()) >> c.Val) | high
+		}
+	case ir.OpZExt:
+		from := intTy(in.Args[0])
+		a := knownBits(in.Args[0], depth-1)
+		k.ones = a.ones & from.Mask()
+		k.zeros = (a.zeros & from.Mask()) | (k.mask() &^ from.Mask())
+	case ir.OpTrunc:
+		a := knownBits(in.Args[0], depth-1)
+		k.ones = a.ones & k.mask()
+		k.zeros = a.zeros & k.mask()
+	case ir.OpURem:
+		if c, isC := mConst(in.Args[1]); isC {
+			if _, pow2 := isPow2(c); pow2 {
+				// urem X, 2^k keeps only the low k bits.
+				k.zeros = k.mask() &^ (c.Val - 1)
+			}
+		}
+	case ir.OpSelect:
+		a := knownBits(in.Args[1], depth-1)
+		b := knownBits(in.Args[2], depth-1)
+		k.zeros = a.zeros & b.zeros
+		k.ones = a.ones & b.ones
+	}
+	k.zeros &= k.mask()
+	k.ones &= k.mask()
+	return k
+}

@@ -1,0 +1,127 @@
+package instcombine
+
+import "veriopt/internal/ir"
+
+// rewriteExtended holds the second tier of instcombine patterns:
+// bitwise algebra, compare-with-mask folds, and zext-of-bool
+// arithmetic. Called from rewrite after the first tier finds nothing.
+func (c *combiner) rewriteExtended(b *ir.Block, idx *int, in *ir.Instr) ir.Value {
+	switch in.Op {
+	case ir.OpXor:
+		// (x | y) ^ (x & y) -> x ^ y.
+		if l, ok := mOp(in.Args[0], ir.OpOr); ok {
+			if r, ok2 := mOp(in.Args[1], ir.OpAnd); ok2 && sameOperands(l, r) {
+				return c.newBin(b, idx, ir.OpXor, l.Args[0], l.Args[1], ir.Flags{})
+			}
+		}
+		if l, ok := mOp(in.Args[0], ir.OpAnd); ok {
+			if r, ok2 := mOp(in.Args[1], ir.OpOr); ok2 && sameOperands(l, r) {
+				return c.newBin(b, idx, ir.OpXor, l.Args[0], l.Args[1], ir.Flags{})
+			}
+		}
+	case ir.OpSub:
+		// x - (x & y) -> x & ~y.
+		if r, ok := mOp(in.Args[1], ir.OpAnd); ok {
+			var other ir.Value
+			if r.Args[0] == in.Args[0] {
+				other = r.Args[1]
+			} else if r.Args[1] == in.Args[0] {
+				other = r.Args[0]
+			}
+			if other != nil {
+				inv := c.newBin(b, idx, ir.OpXor, other, cInt(in, -1), ir.Flags{})
+				return c.newBin(b, idx, ir.OpAnd, in.Args[0], inv, ir.Flags{})
+			}
+		}
+		// (x | y) - x -> y & ~x  (no-overflow form of the identity).
+		if l, ok := mOp(in.Args[0], ir.OpOr); ok {
+			var other ir.Value
+			if l.Args[0] == in.Args[1] {
+				other = l.Args[1]
+			} else if l.Args[1] == in.Args[1] {
+				other = l.Args[0]
+			}
+			if other != nil {
+				inv := c.newBin(b, idx, ir.OpXor, in.Args[1], cInt(in, -1), ir.Flags{})
+				return c.newBin(b, idx, ir.OpAnd, other, inv, ir.Flags{})
+			}
+		}
+	case ir.OpAdd:
+		// (x & y) + (x | y) -> x + y.
+		if l, ok := mOp(in.Args[0], ir.OpAnd); ok {
+			if r, ok2 := mOp(in.Args[1], ir.OpOr); ok2 && sameOperands(l, r) {
+				return c.newBin(b, idx, ir.OpAdd, l.Args[0], l.Args[1], ir.Flags{})
+			}
+		}
+		if l, ok := mOp(in.Args[0], ir.OpOr); ok {
+			if r, ok2 := mOp(in.Args[1], ir.OpAnd); ok2 && sameOperands(l, r) {
+				return c.newBin(b, idx, ir.OpAdd, l.Args[0], l.Args[1], ir.Flags{})
+			}
+		}
+		// zext(b1) + zext(b1) patterns stay; handled by mul canon.
+	case ir.OpAnd:
+		// and (xor x, -1), (xor y, -1) -> xor (or x, y), -1 (De Morgan).
+		if l, ok := notOf(in.Args[0]); ok {
+			if r, ok2 := notOf(in.Args[1]); ok2 {
+				or := c.newBin(b, idx, ir.OpOr, l, r, ir.Flags{})
+				return c.newBin(b, idx, ir.OpXor, or, cInt(in, -1), ir.Flags{})
+			}
+		}
+	case ir.OpOr:
+		// or (xor x, -1), (xor y, -1) -> xor (and x, y), -1 (De Morgan).
+		if l, ok := notOf(in.Args[0]); ok {
+			if r, ok2 := notOf(in.Args[1]); ok2 {
+				and := c.newBin(b, idx, ir.OpAnd, l, r, ir.Flags{})
+				return c.newBin(b, idx, ir.OpXor, and, cInt(in, -1), ir.Flags{})
+			}
+		}
+	case ir.OpICmp:
+		// icmp eq/ne (zext x), 0  ->  icmp eq/ne x, 0 (and const in range).
+		if (in.Pred == ir.PredEQ || in.Pred == ir.PredNE) && len(in.Args) == 2 {
+			if zx, ok := mOp(in.Args[0], ir.OpZExt); ok {
+				if cy, isC := mConst(in.Args[1]); isC {
+					from := intTy(zx.Args[0])
+					if cy.Val&^from.Mask() == 0 {
+						return c.newICmp(b, idx, in.Pred, zx.Args[0], &ir.Const{Ty: from, Val: cy.Val})
+					}
+					// Constant outside the zext range: eq is false, ne true.
+					if in.Pred == ir.PredEQ {
+						return ir.NewConst(ir.I1, 0)
+					}
+					return ir.NewConst(ir.I1, 1)
+				}
+			}
+		}
+	case ir.OpSelect:
+		// select c, (add x, C), x -> add x, (select c, C, 0) is not
+		// simpler; instead fold select of identical operations:
+		// select c, (op x, a), (op x, b) -> op x, (select c, a, b).
+		l, lok := in.Args[1].(*ir.Instr)
+		r, rok := in.Args[2].(*ir.Instr)
+		if lok && rok && l.Op == r.Op && l.Op.IsBinary() && !l.Op.IsDivRem() &&
+			l.Flags == r.Flags && l.Args[0] == r.Args[0] {
+			sel := c.newSelect(b, idx, in.Args[0], l.Args[1], r.Args[1])
+			return c.newBin(b, idx, l.Op, l.Args[0], sel, l.Flags)
+		}
+	}
+	return nil
+}
+
+// sameOperands reports whether two binary instructions have the same
+// operand pair (in either order, both ops commutative here).
+func sameOperands(a, b *ir.Instr) bool {
+	return (a.Args[0] == b.Args[0] && a.Args[1] == b.Args[1]) ||
+		(a.Args[0] == b.Args[1] && a.Args[1] == b.Args[0])
+}
+
+// notOf matches "xor x, -1", returning x.
+func notOf(v ir.Value) (ir.Value, bool) {
+	in, ok := mOp(v, ir.OpXor)
+	if !ok {
+		return nil, false
+	}
+	if cy, isC := mConst(in.Args[1]); isC && cy.IsAllOnes() {
+		return in.Args[0], true
+	}
+	return nil, false
+}

@@ -1,0 +1,423 @@
+package instcombine
+
+import (
+	"math/bits"
+
+	"veriopt/internal/ir"
+)
+
+// simplify tries to replace in with an existing value or a constant,
+// creating no new instructions (the InstSimplify half of instcombine).
+// Returns nil when no simplification applies.
+func simplify(c *combiner, in *ir.Instr) ir.Value {
+	switch {
+	case in.Op.IsBinary():
+		return simplifyBin(in)
+	case in.Op == ir.OpICmp:
+		return simplifyICmp(in)
+	case in.Op == ir.OpSelect:
+		return simplifySelect(in)
+	case in.Op.IsCast():
+		return simplifyCast(in)
+	case in.Op == ir.OpPhi:
+		return simplifyPhi(in)
+	}
+	return nil
+}
+
+// foldConst evaluates a binary op over two constants, honouring
+// poison-producing flags (a flag violation folds to poison, matching
+// LLVM's constant folder).
+func foldConst(in *ir.Instr, a, b *ir.Const) ir.Value {
+	it := in.Ty.(ir.IntType)
+	w := it.Bits
+	x, y := a.Val&it.Mask(), b.Val&it.Mask()
+	sx, sy := a.Signed(), b.Signed()
+	var r uint64
+	switch in.Op {
+	case ir.OpAdd:
+		r = x + y
+		if in.Flags.NUW && (r&it.Mask()) < x {
+			return &ir.Poison{Ty: it}
+		}
+		if in.Flags.NSW && signedOvf(sx+sy, it) {
+			return &ir.Poison{Ty: it}
+		}
+	case ir.OpSub:
+		r = x - y
+		if in.Flags.NUW && y > x {
+			return &ir.Poison{Ty: it}
+		}
+		if in.Flags.NSW && signedOvf(sx-sy, it) {
+			return &ir.Poison{Ty: it}
+		}
+	case ir.OpMul:
+		r = x * y
+		if in.Flags.NUW {
+			hi, lo := bits.Mul64(x, y)
+			if hi != 0 || lo&^it.Mask() != 0 {
+				return &ir.Poison{Ty: it}
+			}
+		}
+		if in.Flags.NSW && w <= 32 && signedOvf(sx*sy, it) {
+			return &ir.Poison{Ty: it}
+		}
+	case ir.OpUDiv:
+		if y == 0 {
+			return &ir.Poison{Ty: it} // div by zero constant: poison-like fold
+		}
+		r = x / y
+		if in.Flags.Exact && x%y != 0 {
+			return &ir.Poison{Ty: it}
+		}
+	case ir.OpSDiv:
+		if y == 0 || (sy == -1 && sx == minOf(it)) {
+			return &ir.Poison{Ty: it}
+		}
+		r = uint64(sx / sy)
+		if in.Flags.Exact && sx%sy != 0 {
+			return &ir.Poison{Ty: it}
+		}
+	case ir.OpURem:
+		if y == 0 {
+			return &ir.Poison{Ty: it}
+		}
+		r = x % y
+	case ir.OpSRem:
+		if y == 0 || (sy == -1 && sx == minOf(it)) {
+			return &ir.Poison{Ty: it}
+		}
+		r = uint64(sx % sy)
+	case ir.OpAnd:
+		r = x & y
+	case ir.OpOr:
+		r = x | y
+	case ir.OpXor:
+		r = x ^ y
+	case ir.OpShl:
+		if y >= uint64(w) {
+			return &ir.Poison{Ty: it}
+		}
+		r = x << y
+	case ir.OpLShr:
+		if y >= uint64(w) {
+			return &ir.Poison{Ty: it}
+		}
+		r = x >> y
+		if in.Flags.Exact && x&((1<<y)-1) != 0 {
+			return &ir.Poison{Ty: it}
+		}
+	case ir.OpAShr:
+		if y >= uint64(w) {
+			return &ir.Poison{Ty: it}
+		}
+		r = uint64(sx >> y)
+		if in.Flags.Exact && x&((1<<y)-1) != 0 {
+			return &ir.Poison{Ty: it}
+		}
+	default:
+		return nil
+	}
+	return &ir.Const{Ty: it, Val: r & it.Mask()}
+}
+
+func signedOvf(v int64, it ir.IntType) bool {
+	return v < minOf(it) || v > maxOf(it)
+}
+
+func minOf(it ir.IntType) int64 {
+	if it.Bits == 64 {
+		return -9223372036854775808
+	}
+	return -(int64(1) << uint(it.Bits-1))
+}
+
+func maxOf(it ir.IntType) int64 {
+	if it.Bits == 64 {
+		return 9223372036854775807
+	}
+	return int64(1)<<uint(it.Bits-1) - 1
+}
+
+func simplifyBin(in *ir.Instr) ir.Value {
+	x, y := in.Args[0], in.Args[1]
+	cx, xIsC := mConst(x)
+	cy, yIsC := mConst(y)
+	if xIsC && yIsC {
+		if v := foldConst(in, cx, cy); v != nil {
+			return v
+		}
+	}
+	switch in.Op {
+	case ir.OpAdd:
+		if yIsC && cy.IsZero() {
+			return x
+		}
+		if xIsC && cx.IsZero() {
+			return y
+		}
+	case ir.OpSub:
+		if yIsC && cy.IsZero() {
+			return x
+		}
+		if x == y {
+			return cInt(in, 0) // x-x never wraps, flags irrelevant
+		}
+	case ir.OpMul:
+		if yIsC && cy.IsOne() {
+			return x
+		}
+		if xIsC && cx.IsOne() {
+			return y
+		}
+		if (yIsC && cy.IsZero()) || (xIsC && cx.IsZero()) {
+			return cInt(in, 0)
+		}
+	case ir.OpUDiv, ir.OpSDiv:
+		if yIsC && cy.IsOne() {
+			return x
+		}
+		if x == y {
+			// x/x == 1 only when x != 0; not simplifiable soundly.
+			return nil
+		}
+	case ir.OpURem:
+		if yIsC && cy.IsOne() {
+			return cInt(in, 0)
+		}
+	case ir.OpSRem:
+		if yIsC && (cy.IsOne() || cy.IsAllOnes()) {
+			return cInt(in, 0)
+		}
+	case ir.OpAnd:
+		if x == y {
+			return x
+		}
+		if (yIsC && cy.IsZero()) || (xIsC && cx.IsZero()) {
+			return cInt(in, 0)
+		}
+		if yIsC && cy.IsAllOnes() {
+			return x
+		}
+		if xIsC && cx.IsAllOnes() {
+			return y
+		}
+	case ir.OpOr:
+		if x == y {
+			return x
+		}
+		if yIsC && cy.IsZero() {
+			return x
+		}
+		if xIsC && cx.IsZero() {
+			return y
+		}
+		if yIsC && cy.IsAllOnes() {
+			return cInt(in, -1)
+		}
+		if xIsC && cx.IsAllOnes() {
+			return cInt(in, -1)
+		}
+	case ir.OpXor:
+		if x == y {
+			return cInt(in, 0)
+		}
+		if yIsC && cy.IsZero() {
+			return x
+		}
+		if xIsC && cx.IsZero() {
+			return y
+		}
+		// ~~x -> x
+		if ix, ok := mOp(x, ir.OpXor); ok && yIsC && cy.IsAllOnes() {
+			if c2, ok2 := mConst(ix.Args[1]); ok2 && c2.IsAllOnes() {
+				return ix.Args[0]
+			}
+		}
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		if yIsC && cy.IsZero() {
+			return x
+		}
+		if xIsC && cx.IsZero() {
+			return cInt(in, 0)
+		}
+	}
+	// Double negation: 0-(0-x) -> x.
+	if in.Op == ir.OpSub && xIsC && cx.IsZero() {
+		if iy, ok := mOp(y, ir.OpSub); ok {
+			if c2, ok2 := mConst(iy.Args[0]); ok2 && c2.IsZero() && !iy.Flags.NSW {
+				return iy.Args[1]
+			}
+		}
+	}
+	return nil
+}
+
+func simplifyICmp(in *ir.Instr) ir.Value {
+	x, y := in.Args[0], in.Args[1]
+	cx, xIsC := mConst(x)
+	cy, yIsC := mConst(y)
+	it, isInt := ir.IsInt(x.Type())
+	if !isInt {
+		return nil
+	}
+	if xIsC && yIsC {
+		return ir.NewConst(ir.I1, b2i(evalPred(in.Pred, cx, cy)))
+	}
+	if x == y {
+		switch in.Pred {
+		case ir.PredEQ, ir.PredUGE, ir.PredULE, ir.PredSGE, ir.PredSLE:
+			return ir.NewConst(ir.I1, 1)
+		default:
+			return ir.NewConst(ir.I1, 0)
+		}
+	}
+	// Range tautologies with constants on the RHS.
+	if yIsC {
+		switch in.Pred {
+		case ir.PredULT:
+			if cy.IsZero() {
+				return ir.NewConst(ir.I1, 0)
+			}
+		case ir.PredUGE:
+			if cy.IsZero() {
+				return ir.NewConst(ir.I1, 1)
+			}
+		case ir.PredUGT:
+			if cy.IsAllOnes() {
+				return ir.NewConst(ir.I1, 0)
+			}
+		case ir.PredULE:
+			if cy.IsAllOnes() {
+				return ir.NewConst(ir.I1, 1)
+			}
+		case ir.PredSGT:
+			if cy.Signed() == maxOf(it) {
+				return ir.NewConst(ir.I1, 0)
+			}
+		case ir.PredSLE:
+			if cy.Signed() == maxOf(it) {
+				return ir.NewConst(ir.I1, 1)
+			}
+		case ir.PredSLT:
+			if cy.Signed() == minOf(it) {
+				return ir.NewConst(ir.I1, 0)
+			}
+		case ir.PredSGE:
+			if cy.Signed() == minOf(it) {
+				return ir.NewConst(ir.I1, 1)
+			}
+		}
+	}
+	return nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func evalPred(p ir.Pred, a, b *ir.Const) bool {
+	ua, ub := a.Val&a.Ty.Mask(), b.Val&b.Ty.Mask()
+	sa, sb := a.Signed(), b.Signed()
+	switch p {
+	case ir.PredEQ:
+		return ua == ub
+	case ir.PredNE:
+		return ua != ub
+	case ir.PredUGT:
+		return ua > ub
+	case ir.PredUGE:
+		return ua >= ub
+	case ir.PredULT:
+		return ua < ub
+	case ir.PredULE:
+		return ua <= ub
+	case ir.PredSGT:
+		return sa > sb
+	case ir.PredSGE:
+		return sa >= sb
+	case ir.PredSLT:
+		return sa < sb
+	case ir.PredSLE:
+		return sa <= sb
+	}
+	return false
+}
+
+func simplifySelect(in *ir.Instr) ir.Value {
+	c, t, f := in.Args[0], in.Args[1], in.Args[2]
+	if cc, ok := mConst(c); ok {
+		if cc.IsOne() {
+			return t
+		}
+		return f
+	}
+	if t == f {
+		return t
+	}
+	// select c, true, false -> c (i1 only)
+	if it, ok := ir.IsInt(in.Ty); ok && it.Bits == 1 {
+		tc, tIsC := mConst(t)
+		fc, fIsC := mConst(f)
+		if tIsC && fIsC && tc.IsOne() && fc.IsZero() {
+			return c
+		}
+	}
+	return nil
+}
+
+func simplifyCast(in *ir.Instr) ir.Value {
+	x := in.Args[0]
+	to := in.Ty.(ir.IntType)
+	if cx, ok := mConst(x); ok {
+		switch in.Op {
+		case ir.OpZExt:
+			return &ir.Const{Ty: to, Val: cx.Val & cx.Ty.Mask()}
+		case ir.OpSExt:
+			return ir.NewConst(to, cx.Signed())
+		case ir.OpTrunc:
+			return &ir.Const{Ty: to, Val: cx.Val & to.Mask()}
+		}
+	}
+	// trunc(zext x) or trunc(sext x) where widths return to the source.
+	if in.Op == ir.OpTrunc {
+		if ix, ok := mOp(x, ir.OpZExt); ok {
+			if ix.Args[0].Type().Equal(to) {
+				return ix.Args[0]
+			}
+		}
+		if ix, ok := mOp(x, ir.OpSExt); ok {
+			if ix.Args[0].Type().Equal(to) {
+				return ix.Args[0]
+			}
+		}
+	}
+	return nil
+}
+
+// simplifyPhi folds phis whose incomings are all the same value.
+func simplifyPhi(in *ir.Instr) ir.Value {
+	if len(in.Incs) == 0 {
+		return nil
+	}
+	first := in.Incs[0].Val
+	for _, inc := range in.Incs[1:] {
+		if inc.Val != first {
+			// Also allow equal constants from different objects.
+			c1, ok1 := mConst(first)
+			c2, ok2 := mConst(inc.Val)
+			if ok1 && ok2 && c1.Val == c2.Val && c1.Ty.Equal(c2.Ty) {
+				continue
+			}
+			return nil
+		}
+	}
+	// A phi may not be replaced by itself.
+	if first == ir.Value(in) {
+		return nil
+	}
+	return first
+}

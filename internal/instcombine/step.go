@@ -1,0 +1,82 @@
+package instcombine
+
+import "veriopt/internal/ir"
+
+// Site identifies one instruction position where a combining step can
+// fire, used by the policy's action space (internal/rewrite).
+type Site struct {
+	Block int
+	Instr int
+}
+
+// Sites returns all positions where a single simplify/rewrite step
+// would change the function. The probe runs against clones so the
+// input is never modified.
+func Sites(f *ir.Function) []Site {
+	var out []Site
+	for bi := range f.Blocks {
+		for ii := range f.Blocks[bi].Instrs {
+			if stepWouldFire(f, bi, ii) {
+				out = append(out, Site{Block: bi, Instr: ii})
+			}
+		}
+	}
+	return out
+}
+
+func stepWouldFire(f *ir.Function, bi, ii int) bool {
+	g := ir.CloneFunc(f)
+	return StepAt(g, bi, ii)
+}
+
+// StepAt applies one instcombine micro-step (simplify or rewrite) at
+// the given position, mutating f in place. It reports whether
+// anything changed. Unlike Run, it performs no fixpoint iteration, no
+// memory forwarding, and no DCE beyond replacing the single value —
+// it is the unit of the simulated LLM's action space.
+func StepAt(f *ir.Function, bi, ii int) bool {
+	if bi >= len(f.Blocks) {
+		return false
+	}
+	b := f.Blocks[bi]
+	if ii >= len(b.Instrs) {
+		return false
+	}
+	in := b.Instrs[ii]
+	if !in.HasResult() {
+		return false
+	}
+	c := &combiner{fn: f}
+	if v := simplify(c, in); v != nil && v != ir.Value(in) {
+		ir.ReplaceAllUses(f, in, v)
+		ir.DeadCodeElim(f, nil)
+		return true
+	}
+	idx := ii
+	if v := c.rewrite(b, &idx, in); v != nil && v != ir.Value(in) {
+		ir.ReplaceAllUses(f, in, v)
+		ir.DeadCodeElim(f, nil)
+		return true
+	}
+	return c.mutated
+}
+
+// ForwardLoadsStep exposes one round of store-to-load forwarding for
+// the policy action space. Reports whether anything changed.
+func ForwardLoadsStep(f *ir.Function) bool {
+	if forwardLoads(f) {
+		ir.DeadCodeElim(f, nil)
+		return true
+	}
+	return false
+}
+
+// RemoveDeadAllocasStep exposes the dead-alloca cleanup for the
+// policy action space. Reports whether anything changed.
+func RemoveDeadAllocasStep(f *ir.Function) bool {
+	if removeDeadAllocas(f) {
+		ir.DeadCodeElim(f, nil)
+		return true
+	}
+	return false
+}

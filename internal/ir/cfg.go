@@ -1,0 +1,156 @@
+package ir
+
+// Preds computes the predecessor map of a function's CFG.
+func Preds(f *Function) map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		preds[b] = nil
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// ReversePostOrder returns the blocks reachable from entry in reverse
+// post-order.
+func ReversePostOrder(f *Function) []*Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	seen := map[*Block]bool{}
+	var post []*Block
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs() {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry())
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Reachable returns the set of blocks reachable from entry.
+func Reachable(f *Function) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs() {
+			dfs(s)
+		}
+	}
+	dfs(f.Entry())
+	return seen
+}
+
+// Dominators computes the immediate-dominator map using the classic
+// Cooper/Harvey/Kennedy iterative algorithm over reverse post-order.
+// The entry block maps to itself; unreachable blocks are absent.
+func Dominators(f *Function) map[*Block]*Block {
+	rpo := ReversePostOrder(f)
+	if len(rpo) == 0 {
+		return nil
+	}
+	index := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		index[b] = i
+	}
+	preds := Preds(f)
+	idom := make(map[*Block]*Block, len(rpo))
+	entry := rpo[0]
+	idom[entry] = entry
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom *Block
+			for _, p := range preds[b] {
+				if idom[p] == nil {
+					continue // predecessor not yet processed or unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the idom map
+// (reflexive: every block dominates itself).
+func Dominates(idom map[*Block]*Block, a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next, ok := idom[b]
+		if !ok || next == b {
+			return a == b
+		}
+		b = next
+	}
+}
+
+// HasLoop reports whether the function's CFG contains a cycle
+// reachable from entry.
+func HasLoop(f *Function) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*Block]int{}
+	var dfs func(*Block) bool
+	dfs = func(b *Block) bool {
+		color[b] = gray
+		for _, s := range b.Succs() {
+			switch color[s] {
+			case gray:
+				return true
+			case white:
+				if dfs(s) {
+					return true
+				}
+			}
+		}
+		color[b] = black
+		return false
+	}
+	if f.Entry() == nil {
+		return false
+	}
+	return dfs(f.Entry())
+}

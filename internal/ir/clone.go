@@ -1,0 +1,228 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CloneFunc produces a deep copy of a function. All instructions,
+// blocks and parameters are fresh objects; constants are shared (they
+// are immutable).
+func CloneFunc(f *Function) *Function {
+	nf := &Function{NameStr: f.NameStr, RetTy: f.RetTy, Attrs: f.Attrs}
+	vmap := map[Value]Value{}
+	bmap := map[*Block]*Block{}
+	for _, p := range f.Params {
+		np := &Param{NameStr: p.NameStr, Ty: p.Ty, Noundef: p.Noundef}
+		nf.Params = append(nf.Params, np)
+		vmap[p] = np
+	}
+	for _, b := range f.Blocks {
+		nb := &Block{NameStr: b.NameStr, Parent: nf}
+		nf.Blocks = append(nf.Blocks, nb)
+		bmap[b] = nb
+	}
+	mapVal := func(v Value) Value {
+		if nv, ok := vmap[v]; ok {
+			return nv
+		}
+		return v
+	}
+	for bi, b := range f.Blocks {
+		nb := nf.Blocks[bi]
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				Op: in.Op, NameStr: in.NameStr, Ty: in.Ty,
+				Pred: in.Pred, Flags: in.Flags, AllocTy: in.AllocTy, Callee: in.Callee,
+				Cases: append([]*Const(nil), in.Cases...),
+			}
+			nb.Append(ni)
+			if in.HasResult() {
+				vmap[in] = ni
+			}
+		}
+	}
+	// Second sweep resolves operands (handles forward refs through phis).
+	for bi, b := range f.Blocks {
+		nb := nf.Blocks[bi]
+		for ii, in := range b.Instrs {
+			ni := nb.Instrs[ii]
+			for _, a := range in.Args {
+				ni.Args = append(ni.Args, mapVal(a))
+			}
+			for _, s := range in.Succs {
+				ni.Succs = append(ni.Succs, bmap[s])
+			}
+			for _, inc := range in.Incs {
+				ni.Incs = append(ni.Incs, Incoming{Val: mapVal(inc.Val), Block: bmap[inc.Block]})
+			}
+		}
+	}
+	return nf
+}
+
+// RenumberFunc rewrites all local value and block names into the
+// sequential numeric scheme clang uses, producing a canonical textual
+// form so that structurally identical functions print identically.
+func RenumberFunc(f *Function) {
+	next := 0
+	fresh := func() string { n := fmt.Sprint(next); next++; return n }
+	for _, p := range f.Params {
+		p.NameStr = fresh()
+	}
+	for i, b := range f.Blocks {
+		if i == 0 && len(f.Blocks) == 1 {
+			b.NameStr = "entry"
+		} else {
+			b.NameStr = fresh()
+		}
+		for _, in := range b.Instrs {
+			if in.HasResult() {
+				in.NameStr = fresh()
+			}
+		}
+	}
+}
+
+// FuncsStructurallyEqual reports whether two functions are identical
+// up to local renaming: it renumbers clones of both and compares the
+// printed text.
+func FuncsStructurallyEqual(a, b *Function) bool {
+	ca, cb := CloneFunc(a), CloneFunc(b)
+	ca.NameStr, cb.NameStr = "f", "f"
+	ca.Attrs, cb.Attrs = "", ""
+	RenumberFunc(ca)
+	RenumberFunc(cb)
+	return FuncString(ca) == FuncString(cb)
+}
+
+// CanonicalText returns the canonical (renumbered) printed form of a
+// function without mutating the input.
+func CanonicalText(f *Function) string {
+	c := CloneFunc(f)
+	c.Attrs = ""
+	RenumberFunc(c)
+	return FuncString(c)
+}
+
+// Uses returns, for every instruction result, the list of
+// instructions that use it (including phi incomings).
+func Uses(f *Function) map[Value][]*Instr {
+	uses := map[Value][]*Instr{}
+	f.ForEachInstr(func(_ *Block, in *Instr) {
+		for _, a := range in.Args {
+			if def, ok := a.(*Instr); ok {
+				uses[def] = append(uses[def], in)
+			}
+		}
+		for _, inc := range in.Incs {
+			if def, ok := inc.Val.(*Instr); ok {
+				uses[def] = append(uses[def], in)
+			}
+		}
+	})
+	return uses
+}
+
+// ReplaceAllUses rewrites every use of old with new throughout f.
+func ReplaceAllUses(f *Function, old, nv Value) {
+	f.ForEachInstr(func(_ *Block, in *Instr) {
+		for i, a := range in.Args {
+			if a == old {
+				in.Args[i] = nv
+			}
+		}
+		for i := range in.Incs {
+			if in.Incs[i].Val == old {
+				in.Incs[i].Val = nv
+			}
+		}
+	})
+}
+
+// RemoveInstr deletes an instruction from its block. The caller is
+// responsible for ensuring it has no remaining uses.
+func RemoveInstr(in *Instr) {
+	b := in.Parent
+	if b == nil {
+		return
+	}
+	for i, x := range b.Instrs {
+		if x == in {
+			b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+			in.Parent = nil
+			return
+		}
+	}
+}
+
+// HasSideEffects reports whether removing the instruction could change
+// observable behaviour (stores, calls, terminators, and
+// possibly-trapping division).
+func HasSideEffects(in *Instr, m *Module) bool {
+	switch in.Op {
+	case OpStore, OpRet, OpBr, OpCondBr, OpUnreachable:
+		return true
+	case OpCall:
+		if m != nil {
+			if d := m.Decl(in.Callee); d != nil && d.ReadNone {
+				return false
+			}
+		}
+		return true
+	}
+	if in.Op.IsDivRem() {
+		// Division traps on a zero (or overflowing) divisor unless the
+		// divisor is a known-safe constant.
+		if c, ok := in.Args[1].(*Const); ok && !c.IsZero() {
+			if in.Op == OpSDiv || in.Op == OpSRem {
+				// INT_MIN / -1 also traps.
+				if c.IsAllOnes() {
+					return true
+				}
+			}
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// DeadCodeElim removes unused side-effect-free instructions until a
+// fixpoint, returning the number removed.
+func DeadCodeElim(f *Function, m *Module) int {
+	removed := 0
+	for {
+		uses := Uses(f)
+		var dead []*Instr
+		f.ForEachInstr(func(_ *Block, in *Instr) {
+			if !in.HasResult() {
+				return
+			}
+			if len(uses[in]) == 0 && !HasSideEffects(in, m) {
+				dead = append(dead, in)
+			}
+		})
+		if len(dead) == 0 {
+			return removed
+		}
+		for _, in := range dead {
+			RemoveInstr(in)
+			removed++
+		}
+	}
+}
+
+// FingerprintText strips whitespace variations from IR text so that
+// cosmetic differences do not affect exact-match comparison.
+func FingerprintText(s string) string {
+	lines := strings.Split(s, "\n")
+	var out []string
+	for _, l := range lines {
+		l = strings.Join(strings.Fields(l), " ")
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

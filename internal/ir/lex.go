@@ -1,0 +1,131 @@
+package ir
+
+import (
+	"strconv"
+	"strings"
+)
+
+// tok is a tiny single-line token cursor used by the parser. Tokens
+// are idents (including keywords, types and integer literals), local
+// refs (%x), global refs (@x), and single-character punctuation.
+type tok struct {
+	words []string
+	i     int
+}
+
+// newTok tokenizes one line. Punctuation characters are split into
+// their own tokens; comments (';' to end of line) are stripped.
+func newTok(line string) *tok {
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		line = line[:i]
+	}
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range line {
+		switch r {
+		case ' ', '\t':
+			flush()
+		case '(', ')', ',', '=', '[', ']', '{', '}', ':':
+			flush()
+			words = append(words, string(r))
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return &tok{words: words}
+}
+
+func (t *tok) peek() string {
+	if t.i < len(t.words) {
+		return t.words[t.i]
+	}
+	return ""
+}
+
+func (t *tok) eat(w string) bool {
+	if t.peek() == w {
+		t.i++
+		return true
+	}
+	return false
+}
+
+// eatAnyIdent consumes the next token if it equals any of the given
+// identifiers, returning true on a match.
+func (t *tok) eatAnyIdent(ids ...string) bool {
+	for _, id := range ids {
+		if t.eat(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// ident consumes and returns the next bare identifier ("" at EOL or
+// punctuation/reference tokens).
+func (t *tok) ident() string {
+	w := t.peek()
+	if w == "" || strings.HasPrefix(w, "%") || strings.HasPrefix(w, "@") {
+		return ""
+	}
+	switch w {
+	case "(", ")", ",", "=", "[", "]", "{", "}", ":":
+		return ""
+	}
+	t.i++
+	return w
+}
+
+// expect consumes the next token, which the caller knows is w.
+func (t *tok) expect(w string) { t.eat(w) }
+
+// local consumes a %name token, returning the bare name.
+func (t *tok) local() (string, bool) {
+	w := t.peek()
+	if strings.HasPrefix(w, "%") && len(w) > 1 {
+		t.i++
+		return w[1:], true
+	}
+	return "", false
+}
+
+// global consumes a @name token, returning the bare name.
+func (t *tok) global() (string, bool) {
+	w := t.peek()
+	if strings.HasPrefix(w, "@") && len(w) > 1 {
+		t.i++
+		return w[1:], true
+	}
+	return "", false
+}
+
+// typ consumes a type token: iN, ptr, or void.
+func (t *tok) typ() (Type, bool) {
+	w := t.peek()
+	switch {
+	case w == "ptr":
+		t.i++
+		return Ptr, true
+	case w == "void":
+		t.i++
+		return Void, true
+	case strings.HasPrefix(w, "i") && len(w) > 1:
+		bits, err := strconv.Atoi(w[1:])
+		if err != nil || bits < 1 || bits > 64 {
+			return nil, false
+		}
+		t.i++
+		return IntType{bits}, true
+	}
+	return nil, false
+}
+
+// rest returns the unconsumed remainder of the line, space-joined.
+func (t *tok) rest() string { return strings.Join(t.words[t.i:], " ") }

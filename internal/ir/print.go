@@ -1,0 +1,142 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a module in LLVM-like textual syntax.
+func Print(m *Module) string {
+	var sb strings.Builder
+	for i, d := range m.Decls {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		printDecl(&sb, d)
+	}
+	for i, f := range m.Funcs {
+		if i > 0 || len(m.Decls) > 0 {
+			sb.WriteByte('\n')
+		}
+		PrintFunc(&sb, f)
+	}
+	return sb.String()
+}
+
+func printDecl(sb *strings.Builder, d *Declaration) {
+	params := make([]string, len(d.ParamTys))
+	for i, t := range d.ParamTys {
+		params[i] = t.String()
+	}
+	fmt.Fprintf(sb, "declare %s @%s(%s)", d.RetTy, d.NameStr, strings.Join(params, ", "))
+	if d.ReadNone {
+		sb.WriteString(" readnone")
+	}
+	sb.WriteByte('\n')
+}
+
+// PrintFunc renders a single function definition into sb.
+func PrintFunc(sb *strings.Builder, f *Function) {
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		s := p.Ty.String()
+		if p.Noundef {
+			s += " noundef"
+		}
+		params[i] = s + " %" + p.NameStr
+	}
+	fmt.Fprintf(sb, "define %s @%s(%s)", f.RetTy, f.NameStr, strings.Join(params, ", "))
+	if f.Attrs != "" {
+		sb.WriteString(" " + f.Attrs)
+	}
+	sb.WriteString(" {\n")
+	for i, b := range f.Blocks {
+		if i > 0 {
+			fmt.Fprintf(sb, "\n%s:\n", b.NameStr)
+		} else if blockLabelNeeded(f) {
+			fmt.Fprintf(sb, "%s:\n", b.NameStr)
+		}
+		for _, in := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(FormatInstr(in))
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("}\n")
+}
+
+// blockLabelNeeded reports whether the entry block label must be
+// printed (it must when the entry has predecessors or a non-numeric
+// name used elsewhere; for simplicity we print it whenever the
+// function has more than one block).
+func blockLabelNeeded(f *Function) bool { return len(f.Blocks) > 1 }
+
+// FuncString renders a single function to a string.
+func FuncString(f *Function) string {
+	var sb strings.Builder
+	PrintFunc(&sb, f)
+	return sb.String()
+}
+
+// FormatInstr renders one instruction without indentation or newline.
+func FormatInstr(in *Instr) string {
+	switch {
+	case in.Op.IsBinary():
+		return fmt.Sprintf("%%%s = %s%s %s %s, %s", in.NameStr, in.Op, in.Flags,
+			in.Ty, in.Args[0].Operand(), in.Args[1].Operand())
+	case in.Op == OpICmp:
+		return fmt.Sprintf("%%%s = icmp %s %s %s, %s", in.NameStr, in.Pred,
+			in.Args[0].Type(), in.Args[0].Operand(), in.Args[1].Operand())
+	case in.Op == OpSelect:
+		return fmt.Sprintf("%%%s = select %s, %s, %s", in.NameStr,
+			operandWithType(in.Args[0]), operandWithType(in.Args[1]), operandWithType(in.Args[2]))
+	case in.Op.IsCast():
+		return fmt.Sprintf("%%%s = %s %s to %s", in.NameStr, in.Op,
+			operandWithType(in.Args[0]), in.Ty)
+	case in.Op == OpFreeze:
+		return fmt.Sprintf("%%%s = freeze %s", in.NameStr, operandWithType(in.Args[0]))
+	case in.Op == OpAlloca:
+		return fmt.Sprintf("%%%s = alloca %s", in.NameStr, in.AllocTy)
+	case in.Op == OpLoad:
+		return fmt.Sprintf("%%%s = load %s, ptr %s", in.NameStr, in.Ty, in.Args[0].Operand())
+	case in.Op == OpStore:
+		return fmt.Sprintf("store %s, ptr %s", operandWithType(in.Args[0]), in.Args[1].Operand())
+	case in.Op == OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = operandWithType(a)
+		}
+		call := fmt.Sprintf("call %s @%s(%s)", in.Ty, in.Callee, strings.Join(args, ", "))
+		if in.HasResult() {
+			return fmt.Sprintf("%%%s = %s", in.NameStr, call)
+		}
+		return call
+	case in.Op == OpPhi:
+		incs := make([]string, len(in.Incs))
+		for i, inc := range in.Incs {
+			incs[i] = fmt.Sprintf("[ %s, %%%s ]", inc.Val.Operand(), inc.Block.NameStr)
+		}
+		return fmt.Sprintf("%%%s = phi %s %s", in.NameStr, in.Ty, strings.Join(incs, ", "))
+	case in.Op == OpRet:
+		if len(in.Args) == 0 {
+			return "ret void"
+		}
+		return fmt.Sprintf("ret %s", operandWithType(in.Args[0]))
+	case in.Op == OpBr:
+		return fmt.Sprintf("br label %%%s", in.Succs[0].NameStr)
+	case in.Op == OpCondBr:
+		return fmt.Sprintf("br i1 %s, label %%%s, label %%%s",
+			in.Args[0].Operand(), in.Succs[0].NameStr, in.Succs[1].NameStr)
+	case in.Op == OpSwitch:
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "switch %s, label %%%s [", operandWithType(in.Args[0]), in.Succs[0].NameStr)
+		for i, c := range in.Cases {
+			fmt.Fprintf(&sb, " %s, label %%%s", operandWithType(c), in.Succs[i+1].NameStr)
+		}
+		sb.WriteString(" ]")
+		return sb.String()
+	case in.Op == OpUnreachable:
+		return "unreachable"
+	}
+	return fmt.Sprintf("<invalid op %d>", int(in.Op))
+}

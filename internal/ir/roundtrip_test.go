@@ -1,0 +1,393 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleFn = `define i32 @f(i32 noundef %0, i32 noundef %1) #0 {
+  %2 = add nsw i32 %0, %1
+  %3 = icmp sgt i32 %2, 0
+  %4 = select i1 %3, i32 %2, i32 0
+  ret i32 %4
+}
+`
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	f, err := ParseFunc(sampleFn)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	got := FuncString(f)
+	if got != sampleFn {
+		t.Errorf("round trip mismatch:\n got: %q\nwant: %q", got, sampleFn)
+	}
+	if err := VerifyFunc(f); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestParseMultiBlock(t *testing.T) {
+	src := `define i32 @g(i32 noundef %0) {
+entry:
+  %1 = icmp eq i32 %0, 0
+  br i1 %1, label %then, label %else
+
+then:
+  br label %end
+
+else:
+  %2 = mul i32 %0, 3
+  br label %end
+
+end:
+  %3 = phi i32 [ 7, %then ], [ %2, %else ]
+  ret i32 %3
+}
+`
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := VerifyFunc(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	got := FuncString(f)
+	if got != src {
+		t.Errorf("round trip mismatch:\n got:\n%s\nwant:\n%s", got, src)
+	}
+	if len(f.Blocks) != 4 {
+		t.Errorf("got %d blocks, want 4", len(f.Blocks))
+	}
+}
+
+func TestParseLoop(t *testing.T) {
+	src := `define i64 @sum(i64 noundef %0) {
+entry:
+  br label %loop
+
+loop:
+  %i = phi i64 [ 0, %entry ], [ %inext, %loop ]
+  %acc = phi i64 [ 0, %entry ], [ %accnext, %loop ]
+  %accnext = add i64 %acc, %i
+  %inext = add i64 %i, 1
+  %cond = icmp ult i64 %inext, %0
+  br i1 %cond, label %loop, label %done
+
+done:
+  ret i64 %accnext
+}
+`
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := VerifyFunc(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !HasLoop(f) {
+		t.Error("HasLoop = false, want true")
+	}
+}
+
+func TestParseMemoryAndCalls(t *testing.T) {
+	src := `declare i32 @ext(i32)
+
+define i32 @h(i32 noundef %0) {
+  %2 = alloca i32
+  store i32 %0, ptr %2
+  %3 = load i32, ptr %2
+  %4 = call i32 @ext(i32 %3)
+  ret i32 %4
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := VerifyModule(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if len(m.Decls) != 1 || m.Decls[0].NameStr != "ext" {
+		t.Errorf("decls = %+v", m.Decls)
+	}
+	got := Print(m)
+	if got != src {
+		t.Errorf("round trip mismatch:\n got:\n%s\nwant:\n%s", got, src)
+	}
+}
+
+func TestParseCastsAndFlags(t *testing.T) {
+	src := `define i64 @c(i32 noundef %0) {
+  %2 = sext i32 %0 to i64
+  %3 = add nuw nsw i64 %2, 5
+  %4 = lshr exact i64 %3, 1
+  %5 = trunc i64 %4 to i16
+  %6 = zext i16 %5 to i64
+  ret i64 %6
+}
+`
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := FuncString(f); got != src {
+		t.Errorf("round trip mismatch:\n got:\n%s\nwant:\n%s", got, src)
+	}
+	add := f.Blocks[0].Instrs[1]
+	if !add.Flags.NSW || !add.Flags.NUW {
+		t.Errorf("add flags = %+v, want nuw nsw", add.Flags)
+	}
+	shr := f.Blocks[0].Instrs[2]
+	if !shr.Flags.Exact {
+		t.Errorf("lshr flags = %+v, want exact", shr.Flags)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"garbage", "hello world", "expected 'define'"},
+		{"unknown instr", "define i32 @f(i32 %0) {\n  %1 = frobnicate i32 %0\n  ret i32 %1\n}\n", "unknown instruction"},
+		{"undefined value", "define i32 @f(i32 %0) {\n  ret i32 %9\n}\n", "undefined value"},
+		{"type mismatch", "define i32 @f(i64 %0) {\n  %1 = add i32 %0, 1\n  ret i32 %1\n}\n", "type"},
+		{"bad trunc", "define i32 @f(i32 %0) {\n  %1 = trunc i32 %0 to i64\n  ret i64 %1\n}\n", "not narrower"},
+		{"redefinition", "define i32 @f(i32 %0) {\n  %1 = add i32 %0, 1\n  %1 = add i32 %0, 2\n  ret i32 %1\n}\n", "redefinition"},
+		{"missing brace", "define i32 @f(i32 %0) {\n  ret i32 %0\n", "unterminated"},
+		{"bad predicate", "define i1 @f(i32 %0) {\n  %1 = icmp wat i32 %0, 0\n  ret i1 %1\n}\n", "predicate"},
+		{"branch to nowhere", "define i32 @f(i32 %0) {\n  br label %nope\n}\n", "undefined label"},
+		{"store with result", "define void @f(i32 %0, ptr %1) {\n  %2 = store i32 %0, ptr %1\n  ret void\n}\n", "store"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestVerifyCatchesBadPhi(t *testing.T) {
+	src := `define i32 @g(i32 noundef %0) {
+entry:
+  %1 = icmp eq i32 %0, 0
+  br i1 %1, label %then, label %end
+
+then:
+  br label %end
+
+end:
+  %3 = phi i32 [ 7, %then ]
+  ret i32 %3
+}
+`
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := VerifyFunc(f); err == nil {
+		t.Error("VerifyFunc accepted phi with missing incoming")
+	}
+}
+
+func TestVerifyCatchesUseBeforeDef(t *testing.T) {
+	f, err := ParseFunc(sampleFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the first two instructions so %2 is used before defined.
+	b := f.Blocks[0]
+	b.Instrs[0], b.Instrs[1] = b.Instrs[1], b.Instrs[0]
+	if err := VerifyFunc(f); err == nil {
+		t.Error("VerifyFunc accepted use-before-def")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f, err := ParseFunc(sampleFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CloneFunc(f)
+	if FuncString(c) != FuncString(f) {
+		t.Fatal("clone prints differently")
+	}
+	// Mutating the clone must not affect the original.
+	c.Blocks[0].Instrs[0].Flags.NSW = false
+	if !f.Blocks[0].Instrs[0].Flags.NSW {
+		t.Error("mutation of clone leaked into original")
+	}
+	if err := VerifyFunc(c); err != nil {
+		t.Errorf("verify clone: %v", err)
+	}
+}
+
+func TestStructurallyEqualModuloNames(t *testing.T) {
+	a, err := ParseFunc(sampleFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := strings.NewReplacer("%2", "%x", "%3", "%y", "%4", "%z").Replace(sampleFn)
+	b, err := ParseFunc(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !FuncsStructurallyEqual(a, b) {
+		t.Error("renamed function not structurally equal")
+	}
+	c, err := ParseFunc(strings.Replace(sampleFn, "add nsw", "sub nsw", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FuncsStructurallyEqual(a, c) {
+		t.Error("different function reported structurally equal")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	src := `define i32 @g(i32 noundef %0) {
+entry:
+  %1 = icmp eq i32 %0, 0
+  br i1 %1, label %a, label %b
+
+a:
+  br label %c
+
+b:
+  br label %c
+
+c:
+  %2 = phi i32 [ 1, %a ], [ 2, %b ]
+  ret i32 %2
+}
+`
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idom := Dominators(f)
+	entry, a, b, c := f.Block("entry"), f.Block("a"), f.Block("b"), f.Block("c")
+	if idom[c] != entry {
+		t.Errorf("idom(c) = %v, want entry", idom[c].NameStr)
+	}
+	if !Dominates(idom, entry, c) || Dominates(idom, a, c) || Dominates(idom, b, c) {
+		t.Error("dominance relation wrong")
+	}
+}
+
+func TestDeadCodeElim(t *testing.T) {
+	src := `define i32 @f(i32 noundef %0) {
+  %2 = add i32 %0, 1
+  %3 = mul i32 %2, 2
+  %4 = sdiv i32 %0, 0
+  ret i32 %0
+}
+`
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := DeadCodeElim(f, nil)
+	if n != 2 {
+		t.Errorf("removed %d instructions, want 2 (dead div by zero must stay)", n)
+	}
+	if f.NumInstrs() != 2 {
+		t.Errorf("remaining instrs = %d, want 2", f.NumInstrs())
+	}
+}
+
+func TestConstRendering(t *testing.T) {
+	cases := []struct {
+		c    *Const
+		want string
+	}{
+		{NewConst(I32, -1), "-1"},
+		{NewConst(I32, 42), "42"},
+		{NewConst(I1, 1), "true"},
+		{NewConst(I1, 0), "false"},
+		{NewConst(I8, 255), "-1"},
+		{NewConst(I64, -9223372036854775808), "-9223372036854775808"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Operand(); got != tc.want {
+			t.Errorf("Const(%d,i%d).Operand() = %q, want %q", tc.c.Val, tc.c.Ty.Bits, got, tc.want)
+		}
+	}
+}
+
+func TestPredHelpers(t *testing.T) {
+	for p := PredEQ; p <= PredSLE; p++ {
+		if p.Inverse().Inverse() != p {
+			t.Errorf("Inverse not involutive for %v", p)
+		}
+		if p.Swapped().Swapped() != p {
+			t.Errorf("Swapped not involutive for %v", p)
+		}
+		got, ok := PredFromString(p.String())
+		if !ok || got != p {
+			t.Errorf("PredFromString(%q) = %v, %v", p.String(), got, ok)
+		}
+	}
+}
+
+func TestParseSwitch(t *testing.T) {
+	src := `define i32 @sw(i32 noundef %0) {
+entry:
+  switch i32 %0, label %def [ i32 0, label %a i32 1, label %b ]
+
+a:
+  ret i32 10
+
+b:
+  ret i32 20
+
+def:
+  ret i32 -1
+}
+`
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := VerifyFunc(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if got := FuncString(f); got != src {
+		t.Errorf("round trip:\n got:\n%s\nwant:\n%s", got, src)
+	}
+	term := f.Entry().Term()
+	if term.Op != OpSwitch || len(term.Cases) != 2 || len(term.Succs) != 3 {
+		t.Errorf("switch shape wrong: %+v", term)
+	}
+}
+
+func TestVerifySwitchRejectsDuplicates(t *testing.T) {
+	src := `define i32 @sw(i32 noundef %0) {
+entry:
+  switch i32 %0, label %def [ i32 5, label %a i32 5, label %b ]
+
+a:
+  ret i32 10
+
+b:
+  ret i32 20
+
+def:
+  ret i32 -1
+}
+`
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := VerifyFunc(f); err == nil {
+		t.Error("duplicate switch cases accepted")
+	}
+}

@@ -1,0 +1,299 @@
+package ir
+
+import "fmt"
+
+// VerifyError is a structural well-formedness violation.
+type VerifyError struct {
+	Fn  string
+	Msg string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("function @%s: %s", e.Fn, e.Msg)
+}
+
+// VerifyModule checks structural well-formedness of every function in
+// the module and that every called symbol resolves to a definition or
+// declaration with a matching signature.
+func VerifyModule(m *Module) error {
+	for _, f := range m.Funcs {
+		if err := VerifyFunc(f); err != nil {
+			return err
+		}
+		var cerr error
+		f.ForEachInstr(func(_ *Block, in *Instr) {
+			if cerr != nil || in.Op != OpCall {
+				return
+			}
+			if g := m.Func(in.Callee); g != nil {
+				if !g.RetTy.Equal(in.Ty) || len(g.Params) != len(in.Args) {
+					cerr = &VerifyError{f.NameStr, "call to @" + in.Callee + " signature mismatch"}
+				}
+				return
+			}
+			if d := m.Decl(in.Callee); d != nil {
+				if !d.RetTy.Equal(in.Ty) || len(d.ParamTys) != len(in.Args) {
+					cerr = &VerifyError{f.NameStr, "call to @" + in.Callee + " signature mismatch"}
+				}
+				return
+			}
+			cerr = &VerifyError{f.NameStr, "call to undefined symbol @" + in.Callee}
+		})
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}
+
+// VerifyFunc checks structural well-formedness of a single function:
+// every block ends in exactly one terminator, phis agree with CFG
+// predecessors, types are consistent, SSA definitions dominate uses,
+// and names are unique.
+func VerifyFunc(f *Function) error {
+	fail := func(format string, args ...interface{}) error {
+		return &VerifyError{f.NameStr, fmt.Sprintf(format, args...)}
+	}
+	if len(f.Blocks) == 0 {
+		return fail("no blocks")
+	}
+
+	names := map[string]bool{}
+	for _, p := range f.Params {
+		if names[p.NameStr] {
+			return fail("duplicate name %%%s", p.NameStr)
+		}
+		names[p.NameStr] = true
+	}
+	blockNames := map[string]bool{}
+	for _, b := range f.Blocks {
+		if blockNames[b.NameStr] {
+			return fail("duplicate block %s", b.NameStr)
+		}
+		blockNames[b.NameStr] = true
+		if len(b.Instrs) == 0 {
+			return fail("block %s is empty", b.NameStr)
+		}
+		for i, in := range b.Instrs {
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				if isLast {
+					return fail("block %s does not end in a terminator", b.NameStr)
+				}
+				return fail("block %s has terminator before its end", b.NameStr)
+			}
+			if in.Op == OpPhi {
+				// Phis must be grouped at the block head.
+				for j := 0; j < i; j++ {
+					if b.Instrs[j].Op != OpPhi {
+						return fail("block %s: phi %%%s not at block head", b.NameStr, in.NameStr)
+					}
+				}
+			}
+			if in.HasResult() {
+				if in.NameStr == "" {
+					return fail("unnamed %s result in block %s", in.Op, b.NameStr)
+				}
+				if names[in.NameStr] {
+					return fail("duplicate name %%%s", in.NameStr)
+				}
+				names[in.NameStr] = true
+			}
+		}
+	}
+
+	if err := verifyTypes(f, fail); err != nil {
+		return err
+	}
+	preds := Preds(f)
+	reach := Reachable(f)
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, in := range b.Phis() {
+			if len(in.Incs) != len(preds[b]) {
+				return fail("phi %%%s in %s has %d incomings for %d predecessors",
+					in.NameStr, b.NameStr, len(in.Incs), len(preds[b]))
+			}
+			seenPred := map[*Block]bool{}
+			for _, inc := range in.Incs {
+				if seenPred[inc.Block] {
+					return fail("phi %%%s: duplicate incoming block %s", in.NameStr, inc.Block.NameStr)
+				}
+				seenPred[inc.Block] = true
+				found := false
+				for _, p := range preds[b] {
+					if p == inc.Block {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fail("phi %%%s: %s is not a predecessor of %s", in.NameStr, inc.Block.NameStr, b.NameStr)
+				}
+				if !inc.Val.Type().Equal(in.Ty) {
+					return fail("phi %%%s: incoming type %s != phi type %s", in.NameStr, inc.Val.Type(), in.Ty)
+				}
+			}
+		}
+	}
+	return verifyDominance(f, fail)
+}
+
+func verifyTypes(f *Function, fail func(string, ...interface{}) error) error {
+	var err error
+	f.ForEachInstr(func(b *Block, in *Instr) {
+		if err != nil {
+			return
+		}
+		switch {
+		case in.Op.IsBinary():
+			if !in.Args[0].Type().Equal(in.Ty) || !in.Args[1].Type().Equal(in.Ty) {
+				err = fail("%s %%%s: operand types do not match result type %s", in.Op, in.NameStr, in.Ty)
+			}
+			if _, ok := in.Ty.(IntType); !ok {
+				err = fail("%s %%%s: non-integer type %s", in.Op, in.NameStr, in.Ty)
+			}
+		case in.Op == OpICmp:
+			if !in.Args[0].Type().Equal(in.Args[1].Type()) {
+				err = fail("icmp %%%s: operand types differ", in.NameStr)
+			}
+		case in.Op == OpSelect:
+			if it, ok := in.Args[0].Type().(IntType); !ok || it.Bits != 1 {
+				err = fail("select %%%s: condition not i1", in.NameStr)
+			} else if !in.Args[1].Type().Equal(in.Ty) || !in.Args[2].Type().Equal(in.Ty) {
+				err = fail("select %%%s: arm types do not match", in.NameStr)
+			}
+		case in.Op.IsCast():
+			from, ok1 := in.Args[0].Type().(IntType)
+			to, ok2 := in.Ty.(IntType)
+			if !ok1 || !ok2 {
+				err = fail("%s %%%s: non-integer cast", in.Op, in.NameStr)
+				return
+			}
+			if in.Op == OpTrunc && to.Bits >= from.Bits {
+				err = fail("trunc %%%s: i%d to i%d not narrowing", in.NameStr, from.Bits, to.Bits)
+			}
+			if in.Op != OpTrunc && to.Bits <= from.Bits {
+				err = fail("%s %%%s: i%d to i%d not widening", in.Op, in.NameStr, from.Bits, to.Bits)
+			}
+		case in.Op == OpLoad:
+			if !in.Args[0].Type().Equal(Ptr) {
+				err = fail("load %%%s: non-pointer address", in.NameStr)
+			}
+		case in.Op == OpStore:
+			if !in.Args[1].Type().Equal(Ptr) {
+				err = fail("store in %s: non-pointer address", b.NameStr)
+			}
+		case in.Op == OpRet:
+			if len(in.Args) == 0 {
+				if _, isVoid := f.RetTy.(VoidType); !isVoid {
+					err = fail("ret void in non-void function")
+				}
+			} else if !in.Args[0].Type().Equal(f.RetTy) {
+				err = fail("ret type %s != function return type %s", in.Args[0].Type(), f.RetTy)
+			}
+		case in.Op == OpCondBr:
+			if it, ok := in.Args[0].Type().(IntType); !ok || it.Bits != 1 {
+				err = fail("conditional br in %s: condition not i1", b.NameStr)
+			}
+		case in.Op == OpSwitch:
+			it, ok := in.Args[0].Type().(IntType)
+			if !ok {
+				err = fail("switch in %s: value not an integer", b.NameStr)
+				return
+			}
+			if len(in.Succs) != len(in.Cases)+1 {
+				err = fail("switch in %s: %d destinations for %d cases", b.NameStr, len(in.Succs), len(in.Cases))
+				return
+			}
+			seen := map[uint64]bool{}
+			for _, cc := range in.Cases {
+				if !cc.Ty.Equal(it) {
+					err = fail("switch in %s: case type %s != value type %s", b.NameStr, cc.Ty, it)
+					return
+				}
+				if seen[cc.Val&it.Mask()] {
+					err = fail("switch in %s: duplicate case %d", b.NameStr, cc.Signed())
+					return
+				}
+				seen[cc.Val&it.Mask()] = true
+			}
+		}
+	})
+	return err
+}
+
+// verifyDominance checks that each use of an instruction result is
+// dominated by its definition (with the usual phi-edge adjustment).
+func verifyDominance(f *Function, fail func(string, ...interface{}) error) error {
+	idom := Dominators(f)
+	reach := Reachable(f)
+
+	defBlock := map[Value]*Block{}
+	defIndex := map[Value]int{}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.HasResult() {
+				defBlock[in] = b
+				defIndex[in] = i
+			}
+		}
+	}
+
+	checkUse := func(user *Instr, userBlock *Block, userIdx int, v Value) error {
+		def, ok := v.(*Instr)
+		if !ok {
+			return nil // params and constants dominate everything
+		}
+		db, ok := defBlock[def]
+		if !ok {
+			return fail("%%%s used in %s but defined outside function", def.NameStr, userBlock.NameStr)
+		}
+		if db == userBlock {
+			if defIndex[def] >= userIdx {
+				return fail("%%%s used before definition in block %s", def.NameStr, userBlock.NameStr)
+			}
+			return nil
+		}
+		if !Dominates(idom, db, userBlock) {
+			return fail("definition of %%%s (block %s) does not dominate use in %s", def.NameStr, db.NameStr, userBlock.NameStr)
+		}
+		_ = user
+		return nil
+	}
+
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for i, in := range b.Instrs {
+			if in.Op == OpPhi {
+				for _, inc := range in.Incs {
+					def, ok := inc.Val.(*Instr)
+					if !ok {
+						continue
+					}
+					db, ok2 := defBlock[def]
+					if !ok2 {
+						return fail("phi %%%s references value defined outside function", in.NameStr)
+					}
+					// The incoming value must dominate the end of the
+					// incoming edge's source block.
+					if db != inc.Block && !Dominates(idom, db, inc.Block) {
+						return fail("phi %%%s: incoming %%%s does not dominate predecessor %s",
+							in.NameStr, def.NameStr, inc.Block.NameStr)
+					}
+				}
+				continue
+			}
+			for _, a := range in.Args {
+				if err := checkUse(in, b, i, a); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+// Package pipeline wires the paper's training curriculum (Model Zero
+// → Warm-up → Model-Correctness → Model-Latency, Fig. 3) and the
+// evaluation harness behind Tables I–III and Figures 4–7.
+package pipeline
+
+import (
+	"math"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/costmodel"
+	"veriopt/internal/dataset"
+	"veriopt/internal/grpo"
+	"veriopt/internal/ir"
+	"veriopt/internal/policy"
+)
+
+// SampleResult is one evaluated function.
+type SampleResult struct {
+	Sample  *dataset.Sample
+	Verdict alive.Verdict
+	Diag    string
+	Copied  bool
+	// FinalFn is the model's output when verified; nil otherwise.
+	FinalFn *ir.Function
+	// Out is the effective metrics after the paper's fallback rule:
+	// unverified outputs fall back to the -O0 version.
+	Out costmodel.Metrics
+	// Base is the -O0 metrics; Ref the instcombine metrics.
+	Base, Ref costmodel.Metrics
+	// UsedFallback reports that Out == Base because verification failed.
+	UsedFallback bool
+}
+
+// Report aggregates an evaluation run, mirroring the verdict
+// categories of Tables I/II.
+type Report struct {
+	Results []*SampleResult
+
+	Correct      int
+	Copies       int // subset of Correct
+	Semantic     int
+	Syntax       int
+	Inconclusive int
+}
+
+// Total returns the number of evaluated samples.
+func (r *Report) Total() int { return len(r.Results) }
+
+// DifferentCorrectFrac is the paper's headline metric: verified
+// outputs that actually differ from the input.
+func (r *Report) DifferentCorrectFrac() float64 {
+	if r.Total() == 0 {
+		return 0
+	}
+	return float64(r.Correct-r.Copies) / float64(r.Total())
+}
+
+// CorrectFrac returns the Alive2-verified fraction.
+func (r *Report) CorrectFrac() float64 {
+	if r.Total() == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Total())
+}
+
+// Evaluate runs the model greedily (deterministic, §IV-B) over the
+// samples, verifying each output and applying the fallback rule.
+func Evaluate(m *policy.Model, samples []*dataset.Sample, augmented bool, vo alive.Options) *Report {
+	rep := &Report{}
+	for _, s := range samples {
+		ep := m.Generate(s.O0, policy.GenOptions{Augmented: augmented})
+		j := grpo.Judge(ep, s, vo)
+		res := &SampleResult{
+			Sample:  s,
+			Verdict: j.FinalVerdict.Verdict,
+			Diag:    j.FinalVerdict.Diag,
+			Copied:  ep.Copied,
+			Base:    costmodel.Measure(s.O0),
+			Ref:     costmodel.Measure(s.Ref),
+		}
+		switch res.Verdict {
+		case alive.Equivalent:
+			rep.Correct++
+			if res.Copied {
+				rep.Copies++
+			}
+			res.FinalFn = j.FinalFn
+			res.Out = costmodel.Measure(j.FinalFn)
+		case alive.SemanticError:
+			rep.Semantic++
+		case alive.SyntaxError:
+			rep.Syntax++
+		case alive.Inconclusive:
+			rep.Inconclusive++
+		}
+		if res.FinalFn == nil {
+			res.Out = res.Base
+			res.UsedFallback = true
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+// Metric selects one of the paper's three efficiency metrics.
+type Metric int
+
+// The efficiency metrics of §IV-C.
+const (
+	MetricLatency Metric = iota
+	MetricSize
+	MetricICount
+)
+
+var metricNames = [...]string{"Latency", "Size", "ICount"}
+
+// String returns the metric's display name.
+func (m Metric) String() string { return metricNames[m] }
+
+func metricOf(ms costmodel.Metrics, m Metric) int {
+	switch m {
+	case MetricLatency:
+		return ms.Latency
+	case MetricSize:
+		return ms.Size
+	default:
+		return ms.ICount
+	}
+}
+
+// Outcomes is a Better/Worse/Tie row of Table III.
+type Outcomes struct {
+	Better, Worse, Tie int
+	// MeanDelta is the mean relative change vs the baseline
+	// (negative = improvement), as in Table III's last column.
+	MeanDelta float64
+}
+
+// OutcomesVsO0 computes a Table III row: the model's effective output
+// (with fallback) against the -O0 baseline.
+func OutcomesVsO0(rep *Report, m Metric) Outcomes {
+	var o Outcomes
+	sum := 0.0
+	for _, r := range rep.Results {
+		base := metricOf(r.Base, m)
+		out := metricOf(r.Out, m)
+		switch {
+		case out < base:
+			o.Better++
+		case out > base:
+			o.Worse++
+		default:
+			o.Tie++
+		}
+		if base > 0 {
+			sum += float64(out-base) / float64(base)
+		}
+	}
+	if n := len(rep.Results); n > 0 {
+		o.MeanDelta = sum / float64(n)
+	}
+	return o
+}
+
+// GeomeanRatio returns the geometric mean of out/base for the metric
+// (< 1 = improvement), the Fig. 5/7 aggregation.
+func GeomeanRatio(rep *Report, m Metric) float64 {
+	logSum := 0.0
+	n := 0
+	for _, r := range rep.Results {
+		base := metricOf(r.Base, m)
+		out := metricOf(r.Out, m)
+		if base <= 0 || out <= 0 {
+			continue
+		}
+		logSum += math.Log(float64(out) / float64(base))
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// GeomeanSpeedup returns the geometric-mean latency speedup vs -O0
+// (the paper's 2.30× headline form).
+func GeomeanSpeedup(rep *Report) float64 {
+	return 1 / GeomeanRatio(rep, MetricLatency)
+}
+
+// RefGeomeanSpeedup returns instcombine's geomean speedup on the same
+// samples (the 2.39× comparison point).
+func RefGeomeanSpeedup(rep *Report) float64 {
+	logSum := 0.0
+	n := 0
+	for _, r := range rep.Results {
+		b, ref := r.Base.Latency, r.Ref.Latency
+		if b <= 0 || ref <= 0 {
+			continue
+		}
+		logSum += math.Log(float64(b) / float64(ref))
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// VsInstCombine compares the model's effective output against the
+// instcombine reference per function — Fig. 6(c).
+func VsInstCombine(rep *Report, m Metric) Outcomes {
+	var o Outcomes
+	sum := 0.0
+	for _, r := range rep.Results {
+		ref := metricOf(r.Ref, m)
+		out := metricOf(r.Out, m)
+		switch {
+		case out < ref:
+			o.Better++
+		case out > ref:
+			o.Worse++
+		default:
+			o.Tie++
+		}
+		if ref > 0 {
+			sum += float64(out-ref) / float64(ref)
+		}
+	}
+	if n := len(rep.Results); n > 0 {
+		o.MeanDelta = sum / float64(n)
+	}
+	return o
+}
+
+// HybridGeomeanGain computes the paper's fallback-hybrid gain: taking
+// the model's output only where it beats instcombine, the geomean
+// improvement over instcombine alone (latency 17%, icount 13.9%, size
+// 2.1% in the paper).
+func HybridGeomeanGain(rep *Report, m Metric) float64 {
+	logSum := 0.0
+	n := 0
+	for _, r := range rep.Results {
+		ref := metricOf(r.Ref, m)
+		out := metricOf(r.Out, m)
+		best := ref
+		if out < best {
+			best = out
+		}
+		if ref <= 0 || best <= 0 {
+			continue
+		}
+		logSum += math.Log(float64(ref) / float64(best))
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Exp(logSum / float64(n))
+}

@@ -1,0 +1,162 @@
+package pipeline
+
+import (
+	"veriopt/internal/alive"
+	"veriopt/internal/dataset"
+	"veriopt/internal/grpo"
+	"veriopt/internal/policy"
+	"veriopt/internal/sft"
+)
+
+// StageConfig sizes the curriculum. The defaults are scaled for
+// commodity wall-clock; paper-scale runs pass larger step counts via
+// the CLI.
+type StageConfig struct {
+	Capacity policy.Capacity
+	Seed     int64
+
+	Stage1Steps  int // Model Zero GRPO steps (also harvests failures)
+	WarmupEpochs int
+	Stage2Steps  int // Model-Correctness GRPO steps
+	Stage3Steps  int // Model-Latency GRPO steps
+
+	GRPO grpo.Config
+	SFT  sft.Config
+
+	// UMaxPercentile sets the latency-reward saturation (paper: 80).
+	UMaxPercentile float64
+	// Gamma is the convex shaping exponent of Eq. 4.
+	Gamma float64
+}
+
+// DefaultStageConfig returns the reduced-scale defaults.
+func DefaultStageConfig() StageConfig {
+	return StageConfig{
+		Capacity:       policy.CapQwen3B,
+		Seed:           1,
+		Stage1Steps:    10,
+		WarmupEpochs:   3,
+		Stage2Steps:    120,
+		Stage3Steps:    80,
+		GRPO:           grpo.DefaultConfig(),
+		SFT:            sft.DefaultConfig(),
+		UMaxPercentile: 80,
+		Gamma:          2,
+	}
+}
+
+// Result bundles the four curriculum models and their training
+// traces.
+type Result struct {
+	Base        *policy.Model // untrained foundation model
+	ModelZero   *policy.Model
+	WarmUp      *policy.Model
+	Correctness *policy.Model
+	Latency     *policy.Model
+
+	// Reward histories per stage (Fig. 4 raw series).
+	ZeroHistory        []float64
+	CorrectnessHistory []float64
+	LatencyHistory     []float64
+
+	Failures []*grpo.FailureSample
+	UMax     float64
+	SFTStats sft.Stats
+}
+
+// devEval scores a model for checkpoint selection: the paper's
+// headline different-correct fraction, with geomean speedup (which
+// already embeds the fallback-to-O0 correctness penalty) breaking
+// ties.
+func devEval(m *policy.Model, dev []*dataset.Sample, augmented bool) float64 {
+	vo := alive.Options{MaxPaths: 256, MaxSteps: 2048, SolverBudget: 30000}
+	rep := Evaluate(m, dev, augmented, vo)
+	return 2*rep.DifferentCorrectFrac() + GeomeanSpeedup(rep)/100
+}
+
+// trainWithCheckpoints runs GRPO, evaluating on the dev split every
+// evalEvery steps and returning the best checkpoint (the paper's
+// "selecting the best checkpoint for evaluation").
+func trainWithCheckpoints(tr *grpo.Trainer, steps, evalEvery int, dev []*dataset.Sample, augmented bool) *policy.Model {
+	best := tr.Model.Clone()
+	bestScore := devEval(best, dev, augmented)
+	for i := 0; i < steps; i++ {
+		tr.Step()
+		if (i+1)%evalEvery == 0 || i == steps-1 {
+			if score := devEval(tr.Model, dev, augmented); score > bestScore {
+				bestScore = score
+				best = tr.Model.Clone()
+			}
+		}
+	}
+	return best
+}
+
+// Run executes the full curriculum on the training samples.
+func Run(train []*dataset.Sample, cfg StageConfig) *Result {
+	res := &Result{}
+	res.Base = policy.New(cfg.Capacity, cfg.Seed)
+	// Hold out a slice of the training set for checkpoint selection
+	// (never the validation set).
+	devN := len(train) / 5
+	if devN < 4 {
+		devN = len(train)
+	}
+	dev := train[len(train)-devN:]
+
+	// Stage 1: Model Zero — raw GRPO with the generic prompt. Its
+	// training space, validated by the checker, yields the
+	// diagnostic-augmented corpus.
+	zero := res.Base.Clone()
+	c1 := cfg.GRPO
+	c1.Mode = grpo.ModeCorrectness
+	c1.Augmented = false
+	t1 := grpo.NewTrainer(zero, train, c1, cfg.Seed+101)
+	t1.CollectFailures = true
+	t1.Train(cfg.Stage1Steps)
+	res.ModelZero = zero
+	res.ZeroHistory = t1.RewardHistory
+	res.Failures = t1.Failures
+
+	// Stage 2a: Warm-up — SFT from the *base* model (Model Zero is
+	// only the sample generator, §III-C1) on first-time and
+	// correction-augmented samples.
+	warm := res.Base.Clone()
+	sftCfg := cfg.SFT
+	sftCfg.Epochs = cfg.WarmupEpochs
+	res.SFTStats = sft.WarmUp(warm, train, res.Failures, sftCfg)
+	res.WarmUp = warm
+
+	// Stage 2b: Model-Correctness — GRPO with augmented prompts,
+	// Eq. 1 + Eq. 2.
+	corr := warm.Clone()
+	c2 := cfg.GRPO
+	c2.Mode = grpo.ModeCorrectnessCoT
+	c2.Augmented = true
+	// Stage 2 refines the warm-up solution; a gentler learning rate
+	// and larger groups avoid collapsing into the copy-and-predict-OK
+	// reward-hacking attractor that destabilizes raw GRPO (§III-C2).
+	c2.LR = cfg.GRPO.LR / 3
+	c2.GroupSize = cfg.GRPO.GroupSize + 2
+	c2.ClipNorm = cfg.GRPO.ClipNorm / 2
+	t2 := grpo.NewTrainer(corr, train, c2, cfg.Seed+202)
+	res.Correctness = trainWithCheckpoints(t2, cfg.Stage2Steps, 10, dev, true)
+	res.CorrectnessHistory = t2.RewardHistory
+
+	// Stage 3: Model-Latency — incremental GRPO with the latency
+	// reward; instcombine labels and the think-protocol are dropped.
+	lat := res.Correctness.Clone()
+	res.UMax = grpo.ComputeUMax(train, cfg.UMaxPercentile)
+	c3 := cfg.GRPO
+	c3.Mode = grpo.ModeLatency
+	c3.Augmented = false
+	c3.Latency = grpo.LatencyRewardParams{UMax: res.UMax, Gamma: cfg.Gamma}
+	t3 := grpo.NewTrainer(lat, train, c3, cfg.Seed+303)
+	res.Latency = trainWithCheckpoints(t3, cfg.Stage3Steps, 10, dev, false)
+	res.LatencyHistory = t3.RewardHistory
+
+	return res
+}
+
+// EvalOptions returns the verifier options used for evaluation runs.
+func EvalOptions() alive.Options { return alive.DefaultOptions() }

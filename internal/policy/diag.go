@@ -1,0 +1,264 @@
+package policy
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+
+	"veriopt/internal/rewrite"
+)
+
+func mathExp(x float64) float64 { return math.Exp(x) }
+
+// DiagClass is the model's predicted verification outcome for its own
+// attempt — the Alive2 emulation of Fig. 2.
+type DiagClass int
+
+// Predicted outcome classes.
+const (
+	DiagOK DiagClass = iota
+	DiagSyntaxError
+	DiagSemanticError
+	numDiagClasses
+)
+
+var diagClassNames = [...]string{"ok", "syntax_error", "semantic_error"}
+
+// String returns a stable class name.
+func (c DiagClass) String() string { return diagClassNames[c] }
+
+// Semantic-error subclasses, matching the verifier's diagnostic kinds.
+const (
+	subValueMismatch = iota
+	subMorePoisonous
+	subUB
+	subCallMismatch
+	numSubclasses
+)
+
+var subclassMessages = [...]string{
+	"ERROR: Value mismatch",
+	"ERROR: Target is more poisonous than source",
+	"ERROR: Target has undefined behavior where source does not",
+	"ERROR: Call trace differs between source and target",
+}
+
+// DiagRecord is one emitted self-diagnosis: the predicted class, the
+// message text (scored by BLEU against the real verifier output), and
+// the bookkeeping needed for policy gradients.
+type DiagRecord struct {
+	PredictedClass DiagClass
+	Subclass       int
+	Message        string
+	BlamedRules    []string
+
+	// Features and the candidate probabilities at sampling time, for
+	// gradient computation.
+	Features []float64
+	ClassIdx int // == int(PredictedClass)
+}
+
+// DiagHead is the linear classifier emulating Alive2 feedback.
+type DiagHead struct {
+	// W[class][feature] over the feature vector built by diagFeatures.
+	W [][]float64
+	// Sub[subclass][ruleID] associates blamed rules with semantic
+	// subclasses.
+	Sub [][]float64
+
+	nFeatures int
+	nRules    int
+}
+
+func newDiagHead(cap Capacity, rng *rand.Rand) *DiagHead {
+	nf := 5 + cap.HashFeatures
+	nr := len(rewrite.All())
+	d := &DiagHead{nFeatures: nf, nRules: nr}
+	d.W = make([][]float64, numDiagClasses)
+	for c := range d.W {
+		d.W[c] = make([]float64, nf)
+		for j := range d.W[c] {
+			d.W[c][j] = rng.NormFloat64() * 0.1
+		}
+	}
+	// The untrained head is biased toward predicting OK — the base
+	// model has no error-recognition ability (paper §III-C2).
+	d.W[DiagOK][0] = 1.5
+	d.Sub = make([][]float64, numSubclasses)
+	for s := range d.Sub {
+		d.Sub[s] = make([]float64, nr)
+	}
+	return d
+}
+
+func (d *DiagHead) clone() *DiagHead {
+	c := &DiagHead{nFeatures: d.nFeatures, nRules: d.nRules}
+	c.W = make([][]float64, len(d.W))
+	for i := range d.W {
+		c.W[i] = append([]float64(nil), d.W[i]...)
+	}
+	c.Sub = make([][]float64, len(d.Sub))
+	for i := range d.Sub {
+		c.Sub[i] = append([]float64(nil), d.Sub[i]...)
+	}
+	return c
+}
+
+// diagFeatures builds the classifier input from the attempt
+// trajectory: [bias, usedCorrupt, usedUnsound, usedSoundOrExtra,
+// trajectoryLenFrac, h...].
+func (m *Model) diagFeatures(h []float64, acts []ActionRecord) []float64 {
+	kinds := map[rewrite.Kind]int{}
+	for _, rec := range acts {
+		a := rec.Cands[rec.Chosen]
+		if a < len(m.Rules) {
+			kinds[m.Rules[a].Kind]++
+		}
+	}
+	f := make([]float64, 0, 5+len(h))
+	f = append(f, 1)
+	f = append(f, b2f(kinds[rewrite.KindCorrupt] > 0))
+	f = append(f, b2f(kinds[rewrite.KindUnsound] > 0))
+	f = append(f, b2f(kinds[rewrite.KindSound]+kinds[rewrite.KindExtra] > 0))
+	f = append(f, float64(len(acts))/float64(m.Cap.MaxSteps))
+	f = append(f, h...)
+	return f
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// classProbs computes the head's softmax over diagnosis classes.
+func (d *DiagHead) classProbs(f []float64, temp float64) []float64 {
+	logits := make([]float64, numDiagClasses)
+	maxL := math.Inf(-1)
+	for c := range logits {
+		v := 0.0
+		for j, fj := range f {
+			v += d.W[c][j] * fj
+		}
+		logits[c] = v / temp
+		if logits[c] > maxL {
+			maxL = logits[c]
+		}
+	}
+	sum := 0.0
+	for c := range logits {
+		logits[c] = math.Exp(logits[c] - maxL)
+		sum += logits[c]
+	}
+	for c := range logits {
+		logits[c] /= sum
+	}
+	return logits
+}
+
+// diagnose emits the model's self-diagnosis of its attempt.
+func (m *Model) diagnose(h []float64, acts []ActionRecord, opts GenOptions) *DiagRecord {
+	f := m.diagFeatures(h, acts)
+	temp := opts.Temperature
+	if temp <= 0 {
+		temp = 1
+	}
+	probs := m.Diag.classProbs(f, temp)
+	var cls int
+	if opts.Temperature > 0 {
+		cls = sampleIdx(probs, opts.Rng)
+	} else {
+		cls = 0
+		for c := 1; c < len(probs); c++ {
+			if probs[c] > probs[cls] {
+				cls = c
+			}
+		}
+	}
+	rec := &DiagRecord{
+		PredictedClass: DiagClass(cls),
+		Features:       f,
+		ClassIdx:       cls,
+	}
+	// Blame the suspicious rules in the trajectory.
+	for _, ar := range acts {
+		a := ar.Cands[ar.Chosen]
+		if a < len(m.Rules) {
+			k := m.Rules[a].Kind
+			if k == rewrite.KindUnsound || k == rewrite.KindCorrupt {
+				rec.BlamedRules = append(rec.BlamedRules, m.Rules[a].Name)
+			}
+		}
+	}
+	switch rec.PredictedClass {
+	case DiagOK:
+		rec.Message = "\n; Alive2: Transformation seems to be correct!"
+	case DiagSyntaxError:
+		rec.Message = "\n; Alive2: ERROR: couldn't parse transformed IR: invalid instruction"
+	case DiagSemanticError:
+		rec.Subclass = m.Diag.bestSubclass(m, acts)
+		msg := subclassMessages[rec.Subclass]
+		if len(rec.BlamedRules) > 0 {
+			msg += " (suspect: " + strings.Join(rec.BlamedRules, ", ") + ")"
+		}
+		rec.Message = "\n; Alive2: " + msg
+	}
+	return rec
+}
+
+// bestSubclass picks the semantic subclass most associated with the
+// rules used in the trajectory.
+func (d *DiagHead) bestSubclass(m *Model, acts []ActionRecord) int {
+	scores := make([]float64, numSubclasses)
+	for _, ar := range acts {
+		a := ar.Cands[ar.Chosen]
+		if a < len(m.Rules) {
+			for s := 0; s < numSubclasses; s++ {
+				scores[s] += d.Sub[s][a]
+			}
+		}
+	}
+	best := 0
+	for s := 1; s < numSubclasses; s++ {
+		if scores[s] > scores[best] {
+			best = s
+		}
+	}
+	return best
+}
+
+// SubclassForDiag maps a real verifier diagnostic to the subclass
+// index whose template matches it best (training target for Sub).
+func SubclassForDiag(diag string) int {
+	switch {
+	case strings.Contains(diag, "poisonous"):
+		return subMorePoisonous
+	case strings.Contains(diag, "undefined behavior"):
+		return subUB
+	case strings.Contains(diag, "Call") || strings.Contains(diag, "call"):
+		return subCallMismatch
+	default:
+		return subValueMismatch
+	}
+}
+
+// ClassProbs exposes the class softmax for gradient computation in
+// the trainer.
+func (d *DiagHead) ClassProbs(f []float64, temp float64) []float64 {
+	return d.classProbs(f, temp)
+}
+
+// DiagFeatures exposes the diagnostic feature construction for the
+// supervised warm-up stage.
+func (m *Model) DiagFeatures(h []float64, acts []ActionRecord) []float64 {
+	return m.diagFeatures(h, acts)
+}
+
+// BumpSub strengthens the association between action a and the given
+// semantic-error subclass (perceptron-style supervised update).
+func (d *DiagHead) BumpSub(sub, a int, lr float64) {
+	if sub < len(d.Sub) && a < len(d.Sub[sub]) {
+		d.Sub[sub][a] += lr
+	}
+}

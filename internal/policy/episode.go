@@ -1,0 +1,269 @@
+package policy
+
+import (
+	"math/rand"
+	"strings"
+
+	"veriopt/internal/ir"
+	"veriopt/internal/rewrite"
+)
+
+// ActionRecord captures one decision for later policy-gradient
+// computation: the candidate set, per-input features, step fraction,
+// and the chosen index.
+type ActionRecord struct {
+	Cands    []int
+	StepFrac float64
+	// Work is the work-remaining feature at this step.
+	Work   float64
+	Chosen int // index into Cands
+}
+
+// Episode is one full generation: the action trajectory, the emitted
+// first attempt, the optional diagnosis + correction, and the final
+// completion.
+type Episode struct {
+	InputText string
+	H         []float64 // hash features of the input
+
+	Actions []ActionRecord
+	// AttemptText is the first attempt (inside <think> for augmented
+	// prompts; the answer itself for generic prompts).
+	AttemptText string
+
+	// Diagnose/correction phase (augmented-prompt mode only).
+	Diag           *DiagRecord
+	CorrectionUsed bool
+	CorrectionActs []ActionRecord
+	CorrectionText string
+	// CorrH holds the hash features used by the correction rollout.
+	CorrH []float64
+
+	// FinalText is the IR text in the answer block.
+	FinalText string
+	// FormatOK is the paper's t_i: whether the completion carries the
+	// required <answer> structure.
+	FormatOK bool
+	// Copied reports whether the final text is byte-identical to the
+	// canonical input (the "copy of input" row of Tables I/II).
+	Copied bool
+}
+
+// GenOptions controls one generation.
+type GenOptions struct {
+	// Temperature 0 means greedy decoding.
+	Temperature float64
+	// Rng is required when Temperature > 0.
+	Rng *rand.Rand
+	// Augmented enables the <think> diagnose-and-correct protocol
+	// (Fig. 2 of the paper); otherwise the generic prompt (Fig. 1).
+	Augmented bool
+	// Salt perturbs the hash features (used to decorrelate the
+	// correction attempt from the first attempt).
+	Salt string
+	// MaskRules suppresses the named rules during generation (used by
+	// self-correction to avoid the diagnosed mistake).
+	MaskRules map[string]bool
+}
+
+// Generate runs the policy on an input function, producing a
+// completion. The input function is never modified.
+func (m *Model) Generate(input *ir.Function, opts GenOptions) *Episode {
+	inputText := ir.CanonicalText(input)
+	ep := &Episode{
+		InputText: inputText,
+		H:         m.HashFeatures(opts.Salt + inputText),
+	}
+	attempt, acts, corruption, formatBreak := m.rollout(input, ep.H, opts, opts.MaskRules)
+	ep.Actions = acts
+	ep.AttemptText = attempt
+	ep.FormatOK = !formatBreak
+	_ = corruption
+
+	if !opts.Augmented {
+		ep.FinalText = attempt
+		ep.Copied = ir.FingerprintText(attempt) == ir.FingerprintText(inputText)
+		return ep
+	}
+
+	// Augmented mode: diagnose the attempt, optionally correct.
+	ep.Diag = m.diagnose(ep.H, acts, opts)
+	if ep.Diag.PredictedClass != DiagOK && m.selfCorrectEnabled() {
+		ep.CorrectionUsed = true
+		mask := map[string]bool{}
+		for k := range opts.MaskRules {
+			mask[k] = true
+		}
+		// Avoid the diagnosed family on the second attempt.
+		for _, name := range ep.Diag.BlamedRules {
+			mask[name] = true
+		}
+		if ep.Diag.PredictedClass == DiagSyntaxError {
+			for _, r := range m.Rules {
+				if r.Kind == rewrite.KindCorrupt {
+					mask[r.Name] = true
+				}
+			}
+		}
+		o2 := opts
+		o2.Salt = opts.Salt + "#retry"
+		h2 := m.HashFeatures(o2.Salt + inputText)
+		ep.CorrH = h2
+		corrText, corrActs, _, corrFmtBreak := m.rollout(input, h2, o2, mask)
+		ep.CorrectionActs = corrActs
+		ep.CorrectionText = corrText
+		ep.FinalText = corrText
+		ep.FormatOK = !corrFmtBreak
+	} else {
+		ep.FinalText = attempt
+	}
+	ep.Copied = ir.FingerprintText(ep.FinalText) == ir.FingerprintText(inputText)
+	return ep
+}
+
+// rollout runs one action sequence over a working copy of the input,
+// returning the emitted text, the action records, the corruption rule
+// applied (if any), and whether the format was broken.
+func (m *Model) rollout(input *ir.Function, h []float64, opts GenOptions, mask map[string]bool) (string, []ActionRecord, *rewrite.Rule, bool) {
+	work := ir.CloneFunc(input)
+	var acts []ActionRecord
+	var corruption *rewrite.Rule
+	formatBreak := false
+	var rng *rand.Rand
+	if opts.Temperature > 0 {
+		rng = opts.Rng
+	}
+	for t := 0; t < m.Cap.MaxSteps; t++ {
+		stepFrac := float64(t) / float64(m.Cap.MaxSteps)
+		cands := m.candidates(work, mask)
+		wf := m.WorkFeature(work)
+		rec := ActionRecord{Cands: cands, StepFrac: stepFrac, Work: wf}
+		var pick int
+		if opts.Temperature > 0 {
+			probs := m.Softmax(cands, stepFrac, wf, h, opts.Temperature)
+			pick = sampleIdx(probs, rng)
+		} else {
+			pick = m.Argmax(cands, stepFrac, wf, h)
+		}
+		rec.Chosen = pick
+		acts = append(acts, rec)
+		a := cands[pick]
+		switch {
+		case a == m.ActStop():
+			text := ir.CanonicalText(work)
+			return text, acts, nil, false
+		case a == m.ActFormatBreak():
+			formatBreak = true
+			text := ir.CanonicalText(work)
+			return text, acts, nil, formatBreak
+		default:
+			r := m.Rules[a]
+			if r.Kind == rewrite.KindCorrupt {
+				corruption = r
+				text := r.ApplyText(ir.CanonicalText(work), actionRand(h, t))
+				return text, acts, corruption, false
+			}
+			r.Apply(work, actionRand(h, t))
+		}
+	}
+	return ir.CanonicalText(work), acts, nil, formatBreak
+}
+
+// candidates lists the available actions: every applicable rule
+// (corruptions always apply), STOP, and format-break.
+func (m *Model) candidates(f *ir.Function, mask map[string]bool) []int {
+	var cands []int
+	for i, r := range m.Rules {
+		if mask != nil && mask[r.Name] {
+			continue
+		}
+		if r.Kind == rewrite.KindCorrupt || r.Applicable(f) {
+			cands = append(cands, i)
+		}
+	}
+	cands = append(cands, m.ActStop(), m.ActFormatBreak())
+	return cands
+}
+
+// WorkFeature measures how much real (non-cosmetic) sound rewriting
+// remains available on f, saturating at 1.
+func (m *Model) WorkFeature(f *ir.Function) float64 {
+	n := 0
+	for _, r := range m.Rules {
+		if r.Kind == rewrite.KindSound && r.Name != "cosmetic-reorder" && r.Applicable(f) {
+			n++
+		}
+	}
+	v := float64(n) / 2
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+func (m *Model) selfCorrectEnabled() bool {
+	return sigmoid(m.SelfCorrectGate) > 0.5
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + mathExp(-x)) }
+
+func sampleIdx(probs []float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if r < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// actionRand derives a deterministic RNG for a rule application from
+// the input hash features and step (so greedy decoding is fully
+// reproducible).
+func actionRand(h []float64, step int) *rand.Rand {
+	seed := int64(step + 1)
+	for _, v := range h {
+		seed = seed*1000003 + int64(v*4096)
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// Completion renders the episode in the paper's prompt-output format:
+// generic (answer only) or augmented (<think> with attempt and
+// diagnosis, then <answer>).
+func (ep *Episode) Completion() string {
+	var sb strings.Builder
+	if ep.Diag != nil {
+		sb.WriteString("<think>\n")
+		sb.WriteString(ep.AttemptText)
+		sb.WriteString(ep.Diag.Message)
+		sb.WriteString("\n</think>\n")
+	}
+	if ep.FormatOK {
+		sb.WriteString("<answer>\n")
+		sb.WriteString(ep.FinalText)
+		sb.WriteString("</answer>\n")
+	} else {
+		sb.WriteString(ep.FinalText)
+	}
+	return sb.String()
+}
+
+// UsedRuleKinds summarizes which rule kinds the final trajectory
+// applied (the correction's trajectory when used, else the attempt's).
+func (ep *Episode) UsedRuleKinds(m *Model) map[rewrite.Kind]int {
+	acts := ep.Actions
+	if ep.CorrectionUsed {
+		acts = ep.CorrectionActs
+	}
+	out := map[rewrite.Kind]int{}
+	for _, rec := range acts {
+		a := rec.Cands[rec.Chosen]
+		if a < len(m.Rules) {
+			out[m.Rules[a].Kind]++
+		}
+	}
+	return out
+}

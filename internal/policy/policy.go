@@ -1,0 +1,283 @@
+// Package policy implements the simulated LLM at the heart of the
+// reproduction: a stochastic, trainable rewrite policy standing in
+// for Qwen2.5-3B (see DESIGN.md §2 for the substitution argument).
+//
+// The policy is a linear-softmax model over a discrete action space
+// (internal/rewrite rules + STOP + a format-breaking action). Its
+// logit for action a on input x at step t is
+//
+//	logit(a) = B[a] + S[a]·(t/T) + Σ_j N[a][j]·h_j(x)
+//
+// where h_j(x) are per-input hash features — fixed pseudo-random
+// values playing the role of the pretrained network's idiosyncratic
+// response to each input. B, S and N are trainable. Because h_j are
+// effectively noise, the policy can reduce but never fully eliminate
+// input-dependent mistakes, reproducing the residual error rates of
+// Table II; "model scale" (Fig. 5) maps to the noise magnitude and
+// feature count (Capacity).
+//
+// Generation is greedy for evaluation (paper §IV-B: deterministic,
+// reproducible) and temperature-sampled during GRPO training.
+package policy
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"veriopt/internal/rewrite"
+)
+
+// Capacity models an LLM's scale: more hash features and lower noise
+// ≈ more parameters.
+type Capacity struct {
+	Name string
+	// HashFeatures is the number of per-input pseudo-random features.
+	HashFeatures int
+	// NoiseScale scales the initial magnitude of the N weights.
+	NoiseScale float64
+	// MaxSteps bounds the number of rewrite actions per generation —
+	// the policy's effective "output length" budget.
+	MaxSteps int
+	// MaxBias caps |B| and |S| — the finite parameter budget. Training
+	// saturates at the cap, so the irreducible per-input noise keeps a
+	// residual error rate that shrinks with model scale (Table II's
+	// ~10% for the 3B model).
+	MaxBias float64
+}
+
+// Standard capacities used across the experiments (Fig. 5).
+var (
+	CapQwen05B = Capacity{Name: "Qwen-0.5B", HashFeatures: 3, NoiseScale: 2.2, MaxSteps: 14, MaxBias: 1.2}
+	CapQwen3B  = Capacity{Name: "Qwen-3B", HashFeatures: 4, NoiseScale: 1.2, MaxSteps: 24, MaxBias: 1.5}
+	CapQwen7B  = Capacity{Name: "Qwen-7B", HashFeatures: 5, NoiseScale: 0.8, MaxSteps: 28, MaxBias: 2.4}
+	CapLlama8B = Capacity{Name: "Llama-8B", HashFeatures: 5, NoiseScale: 0.75, MaxSteps: 28, MaxBias: 2.4}
+	CapQwen32B = Capacity{Name: "Qwen-32B", HashFeatures: 6, NoiseScale: 0.45, MaxSteps: 36, MaxBias: 3.2}
+)
+
+// Special action indices appended after the rewrite rules.
+const (
+	// actStop ends generation and emits the current function.
+	actStopOffset = 0
+	// actFormatBreak emits the answer without the required format
+	// (missing <answer> tags), zeroing the format reward t_i.
+	actFormatBreakOffset = 1
+	numSpecialActions    = 2
+)
+
+// Model is the trainable policy plus its diagnostic head.
+type Model struct {
+	Cap   Capacity
+	Rules []*rewrite.Rule
+
+	// B is the per-action bias; S the per-action step-fraction weight;
+	// P the per-action work-remaining weight; N the per-action,
+	// per-hash-feature weights (frozen after initialization).
+	B []float64
+	S []float64
+	P []float64
+	N [][]float64
+
+	// Diag is the diagnostic head used in augmented-prompt mode.
+	Diag *DiagHead
+
+	// SelfCorrectGate in [pre-sigmoid] controls whether a predicted
+	// error triggers a correction attempt.
+	SelfCorrectGate float64
+}
+
+// NumActions returns the size of the action space.
+func (m *Model) NumActions() int { return len(m.Rules) + numSpecialActions }
+
+// ActStop returns the STOP action index.
+func (m *Model) ActStop() int { return len(m.Rules) + actStopOffset }
+
+// ActFormatBreak returns the format-breaking action index.
+func (m *Model) ActFormatBreak() int { return len(m.Rules) + actFormatBreakOffset }
+
+// ActionName renders an action index for logs.
+func (m *Model) ActionName(a int) string {
+	switch {
+	case a < len(m.Rules):
+		return m.Rules[a].Name
+	case a == m.ActStop():
+		return "stop"
+	case a == m.ActFormatBreak():
+		return "format-break"
+	}
+	return fmt.Sprintf("action(%d)", a)
+}
+
+// New builds an untrained base model whose initial action
+// distribution is calibrated to the paper's Table I profile for the
+// raw foundation model: mostly copies (STOP first), a substantial
+// syntax-error mass (corruptions), a small semantic-error mass
+// (unsound rules), and occasional real optimizations.
+func New(cap Capacity, seed int64) *Model {
+	rules := rewrite.All()
+	m := &Model{Cap: cap, Rules: rules}
+	n := m.NumActions()
+	m.B = make([]float64, n)
+	m.S = make([]float64, n)
+	m.P = make([]float64, n)
+	m.N = make([][]float64, n)
+	rng := rand.New(rand.NewSource(seed))
+	for a := 0; a < n; a++ {
+		m.N[a] = make([]float64, cap.HashFeatures)
+		for j := range m.N[a] {
+			m.N[a][j] = rng.NormFloat64() * cap.NoiseScale
+		}
+	}
+	// Base biases per kind (Table I calibration; see DESIGN.md §5).
+	for a, r := range rules {
+		switch r.Kind {
+		case rewrite.KindSound:
+			m.B[a] = -0.35
+			if r.Name == "cosmetic-reorder" {
+				// The base model's favourite: change the text without
+				// improving anything.
+				m.B[a] = 1.75
+			}
+		case rewrite.KindExtra:
+			m.B[a] = -0.7
+		case rewrite.KindUnsound:
+			m.B[a] = -1.0
+		case rewrite.KindCorrupt:
+			m.B[a] = -1.1
+		}
+	}
+	m.B[m.ActStop()] = 1.25
+	m.B[m.ActFormatBreak()] = -1.6
+	// The base model grows more likely to stop — and less likely to
+	// keep transforming — as generation proceeds; RL later learns to
+	// sustain long sound rewrite chains by raising S for sound rules.
+	for a := range m.S {
+		m.S[a] = -2.0
+	}
+	m.S[m.ActStop()] = 2.5
+	m.S[m.ActFormatBreak()] = -2.0
+	m.Diag = newDiagHead(cap, rng)
+	m.SelfCorrectGate = -2.0 // base model rarely self-corrects
+	return m
+}
+
+// Clone deep-copies the model (used to snapshot curriculum stages).
+func (m *Model) Clone() *Model {
+	c := &Model{Cap: m.Cap, Rules: m.Rules, SelfCorrectGate: m.SelfCorrectGate}
+	c.B = append([]float64(nil), m.B...)
+	c.S = append([]float64(nil), m.S...)
+	c.P = append([]float64(nil), m.P...)
+	c.N = make([][]float64, len(m.N))
+	for i := range m.N {
+		c.N[i] = append([]float64(nil), m.N[i]...)
+	}
+	c.Diag = m.Diag.clone()
+	return c
+}
+
+// HashFeatures derives the per-input pseudo-random features of input
+// text x: deterministic, roughly standard-normal values.
+func (m *Model) HashFeatures(x string) []float64 {
+	out := make([]float64, m.Cap.HashFeatures)
+	for j := range out {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d|", j)
+		h.Write([]byte(x))
+		v := h.Sum64()
+		// Map to approximately N(0,1) by summing uniform halves.
+		u1 := float64(v&0xFFFFFFFF) / float64(1<<32)
+		u2 := float64(v>>32) / float64(1<<32)
+		if u1 < 1e-12 {
+			u1 = 1e-12
+		}
+		out[j] = math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+	// Normalize so the per-action noise magnitude is governed by
+	// NoiseScale alone, independent of the feature count.
+	norm := 0.0
+	for _, v := range out {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	if norm > 1e-9 {
+		for j := range out {
+			out[j] /= norm
+		}
+	}
+	return out
+}
+
+// Logit computes the unnormalized score of action a. work in [0,1]
+// measures how much sound rewriting remains available — the state
+// feature that lets the policy learn conditional stopping.
+func (m *Model) Logit(a int, stepFrac, work float64, h []float64) float64 {
+	v := m.B[a] + m.S[a]*stepFrac + m.P[a]*work
+	for j, hj := range h {
+		v += m.N[a][j] * hj
+	}
+	return v
+}
+
+// Softmax computes action probabilities over the candidate set at the
+// given temperature (1.0 = natural; 0 is invalid — use Argmax).
+func (m *Model) Softmax(cands []int, stepFrac, work float64, h []float64, temp float64) []float64 {
+	logits := make([]float64, len(cands))
+	maxL := math.Inf(-1)
+	for i, a := range cands {
+		logits[i] = m.Logit(a, stepFrac, work, h) / temp
+		if logits[i] > maxL {
+			maxL = logits[i]
+		}
+	}
+	sum := 0.0
+	for i := range logits {
+		logits[i] = math.Exp(logits[i] - maxL)
+		sum += logits[i]
+	}
+	for i := range logits {
+		logits[i] /= sum
+	}
+	return logits
+}
+
+// Clamp enforces the finite parameter budget: |B|,|S| <= MaxBias.
+// Called after every training update.
+func (m *Model) Clamp() {
+	lim := m.Cap.MaxBias
+	if lim <= 0 {
+		return
+	}
+	cl := func(v float64) float64 {
+		if v > lim {
+			return lim
+		}
+		if v < -lim {
+			return -lim
+		}
+		return v
+	}
+	for a := range m.B {
+		m.B[a] = cl(m.B[a])
+		m.S[a] = cl(m.S[a])
+		m.P[a] = cl(m.P[a])
+	}
+	for c := range m.Diag.W {
+		for j := range m.Diag.W[c] {
+			m.Diag.W[c][j] = cl(m.Diag.W[c][j])
+		}
+	}
+}
+
+// Argmax returns the index (into cands) of the highest-logit action,
+// breaking ties toward the earlier candidate for determinism.
+func (m *Model) Argmax(cands []int, stepFrac, work float64, h []float64) int {
+	best, bestV := 0, math.Inf(-1)
+	for i, a := range cands {
+		v := m.Logit(a, stepFrac, work, h)
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,82 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"veriopt/internal/rewrite"
+)
+
+// modelFile is the on-disk JSON layout of a trained policy. Rules are
+// referenced by name so a file from an older rule registry fails
+// loudly instead of silently misbehaving.
+type modelFile struct {
+	Version         int         `json:"version"`
+	Capacity        Capacity    `json:"capacity"`
+	RuleNames       []string    `json:"rule_names"`
+	B               []float64   `json:"b"`
+	S               []float64   `json:"s"`
+	P               []float64   `json:"p"`
+	N               [][]float64 `json:"n"`
+	DiagW           [][]float64 `json:"diag_w"`
+	DiagSub         [][]float64 `json:"diag_sub"`
+	SelfCorrectGate float64     `json:"self_correct_gate"`
+}
+
+const modelFileVersion = 1
+
+// MarshalJSON serializes the model, including its capacity and the
+// rule registry names it was trained against.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	names := make([]string, len(m.Rules))
+	for i, r := range m.Rules {
+		names[i] = r.Name
+	}
+	return json.Marshal(modelFile{
+		Version:         modelFileVersion,
+		Capacity:        m.Cap,
+		RuleNames:       names,
+		B:               m.B,
+		S:               m.S,
+		P:               m.P,
+		N:               m.N,
+		DiagW:           m.Diag.W,
+		DiagSub:         m.Diag.Sub,
+		SelfCorrectGate: m.SelfCorrectGate,
+	})
+}
+
+// UnmarshalJSON restores a model saved by MarshalJSON, re-binding the
+// named rules from the current registry.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var f modelFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return err
+	}
+	if f.Version != modelFileVersion {
+		return fmt.Errorf("policy: model file version %d, want %d", f.Version, modelFileVersion)
+	}
+	all := rewrite.All()
+	byName := map[string]*rewrite.Rule{}
+	for _, r := range all {
+		byName[r.Name] = r
+	}
+	rules := make([]*rewrite.Rule, len(f.RuleNames))
+	for i, n := range f.RuleNames {
+		r, ok := byName[n]
+		if !ok {
+			return fmt.Errorf("policy: model references unknown rule %q (registry changed?)", n)
+		}
+		rules[i] = r
+	}
+	nA := len(rules) + numSpecialActions
+	if len(f.B) != nA || len(f.S) != nA || len(f.P) != nA || len(f.N) != nA {
+		return fmt.Errorf("policy: parameter shapes do not match %d actions", nA)
+	}
+	m.Cap = f.Capacity
+	m.Rules = rules
+	m.B, m.S, m.P, m.N = f.B, f.S, f.P, f.N
+	m.Diag = &DiagHead{W: f.DiagW, Sub: f.DiagSub, nFeatures: 5 + f.Capacity.HashFeatures, nRules: len(rules)}
+	m.SelfCorrectGate = f.SelfCorrectGate
+	return nil
+}

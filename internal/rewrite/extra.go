@@ -1,0 +1,476 @@
+package rewrite
+
+import (
+	"math/rand"
+
+	"veriopt/internal/ir"
+)
+
+// Extra returns the sound rules beyond instcombine's scope — the
+// simplifycfg- and mem2reg-flavoured transformations whose discovery
+// the paper attributes to reinforcement learning (Fig. 10: "emergent
+// learning of simplifycfg-style behavior").
+func Extra() []*Rule {
+	return []*Rule{
+		{
+			Name: "extra-fold-const-branch", Kind: KindExtra,
+			Applicable: func(f *ir.Function) bool { return findConstBranch(f) != nil },
+			Apply: func(f *ir.Function, _ *rand.Rand) bool {
+				return foldConstBranch(f)
+			},
+		},
+		{
+			Name: "extra-merge-blocks", Kind: KindExtra,
+			Applicable: func(f *ir.Function) bool { return canMergeAny(f) },
+			Apply: func(f *ir.Function, _ *rand.Rand) bool {
+				return mergeBlocks(f)
+			},
+		},
+		{
+			Name: "extra-diamond-to-select", Kind: KindExtra,
+			Applicable: func(f *ir.Function) bool { return findDiamond(f) != nil },
+			Apply: func(f *ir.Function, _ *rand.Rand) bool {
+				return diamondToSelect(f)
+			},
+		},
+		{
+			Name: "extra-promote-alloca", Kind: KindExtra,
+			Applicable: func(f *ir.Function) bool { return findPromotable(f) != nil },
+			Apply: func(f *ir.Function, _ *rand.Rand) bool {
+				return promoteAlloca(f)
+			},
+		},
+		{
+			Name: "extra-mem2reg", Kind: KindExtra,
+			Applicable: func(f *ir.Function) bool { return len(promotableAllocas(f)) > 0 },
+			Apply: func(f *ir.Function, _ *rand.Rand) bool {
+				return mem2reg(f)
+			},
+		},
+	}
+}
+
+func findConstBranch(f *ir.Function) *ir.Instr {
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || (t.Op != ir.OpCondBr && t.Op != ir.OpSwitch) {
+			continue
+		}
+		if _, ok := t.Args[0].(*ir.Const); ok {
+			return t
+		}
+	}
+	return nil
+}
+
+// foldConstBranch rewrites `br i1 const, A, B` (or a switch on a
+// constant) into an unconditional branch, fixes phis in the
+// no-longer-reached successors, and prunes blocks that become
+// unreachable.
+func foldConstBranch(f *ir.Function) bool {
+	t := findConstBranch(f)
+	if t == nil {
+		return false
+	}
+	c := t.Args[0].(*ir.Const)
+	from := t.Parent
+	var taken *ir.Block
+	var dropped []*ir.Block
+	if t.Op == ir.OpCondBr {
+		taken, dropped = t.Succs[0], []*ir.Block{t.Succs[1]}
+		if c.IsZero() {
+			taken, dropped = t.Succs[1], []*ir.Block{t.Succs[0]}
+		}
+	} else {
+		// Switch: pick the matching case, else the default.
+		taken = t.Succs[0]
+		for i, cc := range t.Cases {
+			if cc.Val&cc.Ty.Mask() == c.Val&c.Ty.Mask() {
+				taken = t.Succs[i+1]
+				break
+			}
+		}
+		seen := map[*ir.Block]bool{taken: true}
+		for _, s := range t.Succs {
+			if !seen[s] {
+				seen[s] = true
+				dropped = append(dropped, s)
+			}
+		}
+	}
+	t.Op = ir.OpBr
+	t.Args = nil
+	t.Cases = nil
+	t.Succs = []*ir.Block{taken}
+	// Remove the dead phi incomings on the dropped edges.
+	for _, d := range dropped {
+		removePhiIncoming(d, from)
+	}
+	pruneUnreachable(f)
+	return true
+}
+
+func removePhiIncoming(b *ir.Block, pred *ir.Block) {
+	for _, in := range b.Phis() {
+		for i, inc := range in.Incs {
+			if inc.Block == pred {
+				in.Incs = append(in.Incs[:i], in.Incs[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// pruneUnreachable deletes blocks not reachable from entry, fixing
+// phis that referenced them.
+func pruneUnreachable(f *ir.Function) bool {
+	reach := ir.Reachable(f)
+	if len(reach) == len(f.Blocks) {
+		return false
+	}
+	var kept []*ir.Block
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+			continue
+		}
+		for _, s := range b.Succs() {
+			if reach[s] {
+				removePhiIncoming(s, b)
+			}
+		}
+	}
+	f.Blocks = kept
+	// Single-incoming phis collapse to their value.
+	for _, b := range f.Blocks {
+		for _, in := range b.Phis() {
+			if len(in.Incs) == 1 {
+				ir.ReplaceAllUses(f, in, in.Incs[0].Val)
+				ir.RemoveInstr(in)
+			}
+		}
+	}
+	ir.DeadCodeElim(f, nil)
+	return true
+}
+
+func canMergeAny(f *ir.Function) bool {
+	_, _, ok := findMergePair(f)
+	return ok
+}
+
+// findMergePair locates (b, c) where b ends in an unconditional br to
+// c, c has exactly one predecessor, and c is not the entry.
+func findMergePair(f *ir.Function) (*ir.Block, *ir.Block, bool) {
+	preds := ir.Preds(f)
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		c := t.Succs[0]
+		if c == f.Entry() || c == b || len(preds[c]) != 1 {
+			continue
+		}
+		return b, c, true
+	}
+	return nil, nil, false
+}
+
+// mergeBlocks splices a single-predecessor successor into its
+// predecessor.
+func mergeBlocks(f *ir.Function) bool {
+	b, c, ok := findMergePair(f)
+	if !ok {
+		return false
+	}
+	// Collapse c's phis (single incoming from b).
+	for _, in := range c.Phis() {
+		if len(in.Incs) != 1 {
+			return false
+		}
+		ir.ReplaceAllUses(f, in, in.Incs[0].Val)
+	}
+	// Drop b's terminator and c's phis, splice the rest of c into b.
+	b.Instrs = b.Instrs[:len(b.Instrs)-1]
+	for _, in := range c.Instrs {
+		if in.Op == ir.OpPhi {
+			continue
+		}
+		in.Parent = b
+		b.Instrs = append(b.Instrs, in)
+	}
+	// Successors of c now see b as the predecessor.
+	for _, s := range c.Succs() {
+		for _, in := range s.Phis() {
+			for i := range in.Incs {
+				if in.Incs[i].Block == c {
+					in.Incs[i].Block = b
+				}
+			}
+		}
+	}
+	// Remove c.
+	for i, blk := range f.Blocks {
+		if blk == c {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// diamond describes an if-then-else (or if-then) region convertible
+// to a select.
+type diamond struct {
+	head  *ir.Block
+	left  *ir.Block // may be nil (edge directly to join)
+	right *ir.Block // may be nil
+	join  *ir.Block
+}
+
+// findDiamond locates a two-armed region whose arms are empty or
+// contain only speculatable instructions and that joins in a block
+// starting with phis.
+func findDiamond(f *ir.Function) *diamond {
+	preds := ir.Preds(f)
+	for _, h := range f.Blocks {
+		t := h.Term()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		a, b := t.Succs[0], t.Succs[1]
+		join, la, lb := diamondJoin(h, a, b, preds)
+		if join == nil {
+			continue
+		}
+		if len(join.Phis()) == 0 {
+			continue
+		}
+		if la != nil && !speculatable(la) {
+			continue
+		}
+		if lb != nil && !speculatable(lb) {
+			continue
+		}
+		return &diamond{head: h, left: la, right: lb, join: join}
+	}
+	return nil
+}
+
+// diamondJoin decides whether a and b converge immediately into a
+// shared join block; each arm is either the join itself (empty arm)
+// or a single block that unconditionally branches to the join and has
+// one predecessor.
+func diamondJoin(h, a, b *ir.Block, preds map[*ir.Block][]*ir.Block) (join, armA, armB *ir.Block) {
+	armTarget := func(x *ir.Block) (*ir.Block, *ir.Block) {
+		// Returns (join candidate, arm block or nil).
+		if t := x.Term(); t != nil && t.Op == ir.OpBr && len(preds[x]) == 1 && x != h {
+			return t.Succs[0], x
+		}
+		return x, nil
+	}
+	if a == b {
+		return nil, nil, nil
+	}
+	ja, la := armTarget(a)
+	jb, lb := armTarget(b)
+	if ja != jb || ja == h {
+		return nil, nil, nil
+	}
+	// The join must have exactly the two arm predecessors.
+	if len(preds[ja]) != 2 {
+		return nil, nil, nil
+	}
+	return ja, la, lb
+}
+
+// speculatable reports whether every non-terminator instruction in
+// the block can be executed unconditionally (no memory, calls, or
+// trapping ops).
+func speculatable(b *ir.Block) bool {
+	for _, in := range b.Instrs {
+		if in.Op.IsTerminator() {
+			continue
+		}
+		switch in.Op {
+		case ir.OpLoad, ir.OpStore, ir.OpCall, ir.OpAlloca, ir.OpPhi:
+			return false
+		}
+		if in.Op.IsDivRem() {
+			// Only constant non-zero divisors are safe to speculate.
+			c, ok := in.Args[1].(*ir.Const)
+			if !ok || c.IsZero() || (c.IsAllOnes() && (in.Op == ir.OpSDiv || in.Op == ir.OpSRem)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// diamondToSelect hoists both arms into the head and replaces the
+// join's phis with selects — the simplifycfg transformation of the
+// paper's Fig. 10.
+func diamondToSelect(f *ir.Function) bool {
+	d := findDiamond(f)
+	if d == nil {
+		return false
+	}
+	t := d.head.Term()
+	cond := t.Args[0]
+
+	// Rebuild the head: body, hoisted arm instructions, new selects,
+	// then the (rewritten) terminator.
+	body := append([]*ir.Instr{}, d.head.Instrs[:len(d.head.Instrs)-1]...)
+	hoist := func(arm *ir.Block) {
+		if arm == nil {
+			return
+		}
+		for _, in := range arm.Instrs[:len(arm.Instrs)-1] {
+			in.Parent = d.head
+			body = append(body, in)
+		}
+	}
+	hoist(d.left)
+	hoist(d.right)
+
+	// Map each phi to a select over the incoming values. d.left is
+	// the true-side arm by construction (nil if the true edge goes
+	// straight to the join), d.right the false side.
+	for _, phi := range d.join.Phis() {
+		var tv, fv ir.Value
+		for _, inc := range phi.Incs {
+			switch {
+			case d.left != nil && inc.Block == d.left:
+				tv = inc.Val
+			case d.right != nil && inc.Block == d.right:
+				fv = inc.Val
+			case inc.Block == d.head && d.left == nil:
+				tv = inc.Val
+			case inc.Block == d.head && d.right == nil:
+				fv = inc.Val
+			}
+		}
+		if tv == nil || fv == nil {
+			return false
+		}
+		sel := &ir.Instr{Op: ir.OpSelect, NameStr: phi.NameStr + ".sel", Ty: phi.Ty,
+			Args: []ir.Value{cond, tv, fv}, Parent: d.head}
+		body = append(body, sel)
+		ir.ReplaceAllUses(f, phi, sel)
+		ir.RemoveInstr(phi)
+	}
+	d.head.Instrs = append(body, t)
+
+	// Head now branches straight to the join.
+	t.Op = ir.OpBr
+	t.Args = nil
+	t.Succs = []*ir.Block{d.join}
+	pruneUnreachable(f)
+	mergeBlocks(f)
+	return true
+}
+
+// findPromotable locates a non-escaping alloca with exactly one store
+// whose block dominates every load (and precedes them within its own
+// block).
+func findPromotable(f *ir.Function) *ir.Instr {
+	type info struct {
+		stores []*ir.Instr
+		loads  []*ir.Instr
+		escape bool
+	}
+	infos := map[*ir.Instr]*info{}
+	get := func(a *ir.Instr) *info {
+		if infos[a] == nil {
+			infos[a] = &info{}
+		}
+		return infos[a]
+	}
+	f.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		switch in.Op {
+		case ir.OpLoad:
+			if a, ok := in.Args[0].(*ir.Instr); ok && a.Op == ir.OpAlloca {
+				get(a).loads = append(get(a).loads, in)
+				return
+			}
+		case ir.OpStore:
+			if a, ok := in.Args[1].(*ir.Instr); ok && a.Op == ir.OpAlloca {
+				st := get(a)
+				st.stores = append(st.stores, in)
+			}
+			if a, ok := in.Args[0].(*ir.Instr); ok && a.Op == ir.OpAlloca {
+				get(a).escape = true
+			}
+			return
+		}
+		for _, arg := range in.Args {
+			if a, ok := arg.(*ir.Instr); ok && a.Op == ir.OpAlloca && in.Op != ir.OpLoad {
+				get(a).escape = true
+			}
+		}
+	})
+	idom := ir.Dominators(f)
+	pos := map[*ir.Instr]int{}
+	i := 0
+	f.ForEachInstr(func(_ *ir.Block, in *ir.Instr) { pos[in] = i; i++ })
+	for a, inf := range infos {
+		if inf.escape || len(inf.stores) != 1 || len(inf.loads) == 0 {
+			continue
+		}
+		st := inf.stores[0]
+		ok := true
+		for _, ld := range inf.loads {
+			if st.Parent == ld.Parent {
+				if pos[st] > pos[ld] {
+					ok = false
+					break
+				}
+			} else if !ir.Dominates(idom, st.Parent, ld.Parent) {
+				ok = false
+				break
+			}
+			if !ld.Ty.Equal(st.Args[0].Type()) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return a
+		}
+	}
+	return nil
+}
+
+// promoteAlloca replaces every load of a single-store dominating
+// alloca with the stored value, then deletes the store and alloca.
+func promoteAlloca(f *ir.Function) bool {
+	a := findPromotable(f)
+	if a == nil {
+		return false
+	}
+	var store *ir.Instr
+	var loads []*ir.Instr
+	f.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		switch in.Op {
+		case ir.OpStore:
+			if in.Args[1] == ir.Value(a) {
+				store = in
+			}
+		case ir.OpLoad:
+			if in.Args[0] == ir.Value(a) {
+				loads = append(loads, in)
+			}
+		}
+	})
+	if store == nil {
+		return false
+	}
+	for _, ld := range loads {
+		ir.ReplaceAllUses(f, ld, store.Args[0])
+		ir.RemoveInstr(ld)
+	}
+	ir.RemoveInstr(store)
+	ir.RemoveInstr(a)
+	return true
+}

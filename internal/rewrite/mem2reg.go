@@ -1,0 +1,280 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"veriopt/internal/ir"
+)
+
+// mem2reg promotes non-escaping allocas with consistent access types
+// to SSA values, inserting phi nodes where paths join — the
+// "mem2reg-like behaviour" the paper observes emerging during the
+// latency stage (§V-E, Fig. 10). The construction follows Braun et
+// al.'s simple-and-efficient SSA algorithm: block-local defs first,
+// then recursive lookups that pre-install phis to break cycles.
+//
+// It returns false (leaving f untouched) when nothing was promotable.
+// The output is re-verified; on any inconsistency the function is
+// restored, so the rule is safe to expose as a policy action.
+func mem2reg(f *ir.Function) bool {
+	allocas := promotableAllocas(f)
+	if len(allocas) == 0 {
+		return false
+	}
+	backup := ir.CloneFunc(f)
+	p := &promoter{
+		f:       f,
+		preds:   ir.Preds(f),
+		blockIn: map[promKey]ir.Value{},
+		nextID:  0,
+	}
+	p.run(allocas)
+	if err := ir.VerifyFunc(f); err != nil {
+		// Restore from backup: replace contents wholesale.
+		*f = *backup
+		return false
+	}
+	return true
+}
+
+// promKey identifies the live-in value of one alloca at one block.
+type promKey struct {
+	a *ir.Instr
+	b *ir.Block
+}
+
+type promoter struct {
+	f       *ir.Function
+	preds   map[*ir.Block][]*ir.Block
+	blockIn map[promKey]ir.Value // resolved block-entry values
+	nextID  int
+}
+
+// promotableAllocas finds non-escaping allocas whose loads and stores
+// all agree with the allocated element type and that are loaded at
+// least once.
+func promotableAllocas(f *ir.Function) []*ir.Instr {
+	type usage struct {
+		loads, stores int
+		consistent    bool
+		escaped       bool
+	}
+	u := map[*ir.Instr]*usage{}
+	f.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		if in.Op == ir.OpAlloca {
+			u[in] = &usage{consistent: true}
+		}
+	})
+	f.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		mark := func(v ir.Value, safe bool, width ir.Type) {
+			a, ok := v.(*ir.Instr)
+			if !ok || a.Op != ir.OpAlloca {
+				return
+			}
+			info, tracked := u[a]
+			if !tracked {
+				return
+			}
+			if !safe {
+				info.escaped = true
+				return
+			}
+			if width != nil && !width.Equal(a.AllocTy) {
+				info.consistent = false
+			}
+		}
+		switch in.Op {
+		case ir.OpLoad:
+			mark(in.Args[0], true, in.Ty)
+			if a, ok := in.Args[0].(*ir.Instr); ok && a.Op == ir.OpAlloca {
+				if info := u[a]; info != nil {
+					info.loads++
+				}
+			}
+		case ir.OpStore:
+			mark(in.Args[1], true, in.Args[0].Type())
+			mark(in.Args[0], false, nil) // address stored somewhere
+			if a, ok := in.Args[1].(*ir.Instr); ok && a.Op == ir.OpAlloca {
+				if info := u[a]; info != nil {
+					info.stores++
+				}
+			}
+		default:
+			for _, arg := range in.Args {
+				mark(arg, false, nil)
+			}
+			for _, inc := range in.Incs {
+				mark(inc.Val, false, nil)
+			}
+		}
+	})
+	var out []*ir.Instr
+	// Deterministic order: layout order of the allocas.
+	f.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		if in.Op != ir.OpAlloca {
+			return
+		}
+		info := u[in]
+		if info != nil && !info.escaped && info.consistent && info.loads > 0 {
+			out = append(out, in)
+		}
+	})
+	return out
+}
+
+func (p *promoter) run(allocas []*ir.Instr) {
+	promoted := map[*ir.Instr]bool{}
+	for _, a := range allocas {
+		promoted[a] = true
+	}
+	// Walk each block tracking the running definition of each alloca;
+	// loads become the running value (or the block live-in), stores
+	// update it and are deleted afterwards.
+	type pendingLoad struct {
+		load *ir.Instr
+		a    *ir.Instr
+	}
+	var deadStores, deadLoads []*ir.Instr
+	replacements := map[*ir.Instr]ir.Value{}
+	var pendings []pendingLoad
+	for _, b := range p.f.Blocks {
+		running := map[*ir.Instr]ir.Value{}
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpLoad:
+				a, ok := in.Args[0].(*ir.Instr)
+				if !ok || !promoted[a] {
+					continue
+				}
+				if v, have := running[a]; have {
+					replacements[in] = v
+				} else {
+					pendings = append(pendings, pendingLoad{load: in, a: a})
+				}
+				deadLoads = append(deadLoads, in)
+			case ir.OpStore:
+				a, ok := in.Args[1].(*ir.Instr)
+				if !ok || !promoted[a] {
+					continue
+				}
+				running[a] = in.Args[0]
+				deadStores = append(deadStores, in)
+			}
+		}
+	}
+	// Resolve block live-ins (may insert phis). Loads pending in the
+	// same block before any store see the block-entry value.
+	for _, pl := range pendings {
+		replacements[pl.load] = p.readVar(pl.a, pl.load.Parent)
+	}
+	// Apply replacements; a replacement may itself be a replaced load
+	// (store of a loaded value), so chase the chain.
+	resolve := func(v ir.Value) ir.Value {
+		for {
+			in, ok := v.(*ir.Instr)
+			if !ok {
+				return v
+			}
+			next, replaced := replacements[in]
+			if !replaced {
+				return v
+			}
+			v = next
+		}
+	}
+	p.f.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		for i, arg := range in.Args {
+			in.Args[i] = resolve(arg)
+		}
+		for i := range in.Incs {
+			in.Incs[i].Val = resolve(in.Incs[i].Val)
+		}
+	})
+	for _, in := range deadLoads {
+		ir.RemoveInstr(in)
+	}
+	for _, in := range deadStores {
+		ir.RemoveInstr(in)
+	}
+	for a := range promoted {
+		ir.RemoveInstr(a)
+	}
+	p.cleanTrivialPhis()
+}
+
+// readVar returns the live-in value of alloca a at block b, inserting
+// phis at joins. The phi is recorded before visiting predecessors so
+// loops terminate (Braun et al.).
+func (p *promoter) readVar(a *ir.Instr, b *ir.Block) ir.Value {
+	key := promKey{a, b}
+	if v, ok := p.blockIn[key]; ok {
+		return v
+	}
+	// Value flowing out of a predecessor: the last store in it, else
+	// its own live-in.
+	outOf := func(pred *ir.Block) ir.Value {
+		var last ir.Value
+		for _, in := range pred.Instrs {
+			if in.Op == ir.OpStore && in.Args[1] == ir.Value(a) {
+				last = in.Args[0]
+			}
+		}
+		if last != nil {
+			return last
+		}
+		return p.readVar(a, pred)
+	}
+	preds := p.preds[b]
+	switch len(preds) {
+	case 0:
+		// Entry with no store before the load: uninitialized.
+		v := ir.Value(&ir.Undef{Ty: a.AllocTy})
+		p.blockIn[key] = v
+		return v
+	case 1:
+		v := outOf(preds[0])
+		p.blockIn[key] = v
+		return v
+	}
+	p.nextID++
+	phi := &ir.Instr{Op: ir.OpPhi, NameStr: fmt.Sprintf("m2r%d", p.nextID), Ty: a.AllocTy, Parent: b}
+	b.Instrs = append([]*ir.Instr{phi}, b.Instrs...)
+	p.blockIn[key] = phi // break cycles before recursing
+	for _, pred := range preds {
+		phi.Incs = append(phi.Incs, ir.Incoming{Val: outOf(pred), Block: pred})
+	}
+	return phi
+}
+
+// cleanTrivialPhis removes phis whose incomings are all the same
+// value (or the phi itself), iterating to a fixpoint.
+func (p *promoter) cleanTrivialPhis() {
+	for {
+		changed := false
+		for _, b := range p.f.Blocks {
+			for _, phi := range b.Phis() {
+				var same ir.Value
+				trivial := true
+				for _, inc := range phi.Incs {
+					if inc.Val == ir.Value(phi) || inc.Val == same {
+						continue
+					}
+					if same != nil {
+						trivial = false
+						break
+					}
+					same = inc.Val
+				}
+				if !trivial || same == nil {
+					continue
+				}
+				ir.ReplaceAllUses(p.f, phi, same)
+				ir.RemoveInstr(phi)
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}

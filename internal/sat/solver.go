@@ -1,0 +1,549 @@
+// Package sat implements a CDCL (conflict-driven clause learning)
+// boolean satisfiability solver with two-watched-literal propagation,
+// VSIDS-style activity-based decisions, first-UIP clause learning,
+// and Luby restarts. It is the decision procedure underlying the
+// bit-blasted bit-vector checks in internal/bv and internal/alive.
+package sat
+
+import (
+	"errors"
+	"sort"
+)
+
+// Lit is a literal: variable index shifted left with the low bit as
+// the sign (0 = positive, 1 = negated). Variables are 0-based.
+type Lit int32
+
+// MkLit builds a literal for variable v, negated if neg.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func (b lbool) not() lbool {
+	switch b {
+	case lTrue:
+		return lFalse
+	case lFalse:
+		return lTrue
+	}
+	return lUndef
+}
+
+// Status is a solver result.
+type Status int
+
+// Solver results.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+// ErrBudget is returned when the solver exceeds its conflict budget.
+var ErrBudget = errors.New("sat: conflict budget exhausted")
+
+type clause struct {
+	lits   []Lit
+	learnt bool
+	act    float64
+}
+
+// Solver is a CDCL SAT solver instance. Zero value is not usable; use
+// New.
+type Solver struct {
+	clauses  []*clause
+	learnts  []*clause
+	watches  [][]*clause // literal -> watching clauses
+	assign   []lbool     // variable -> value
+	level    []int       // variable -> decision level
+	reason   []*clause   // variable -> implying clause
+	activity []float64
+	varInc   float64
+	claInc   float64
+	trail    []Lit
+	trailLim []int
+	qhead    int
+	order    *varHeap
+	seen     []bool
+
+	// Budget bounds the total number of conflicts across Solve calls;
+	// 0 means unlimited.
+	Budget    int
+	conflicts int
+
+	nVars int
+	okay  bool
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, claInc: 1, okay: true}
+	s.order = &varHeap{s: s}
+	return s
+}
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := s.nVars
+	s.nVars++
+	s.watches = append(s.watches, nil, nil)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, -1)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.order.push(v)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// NumClauses returns the number of problem clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// Conflicts returns the number of conflicts encountered so far.
+func (s *Solver) Conflicts() int { return s.conflicts }
+
+func (s *Solver) valueLit(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if l.Neg() {
+		return v.not()
+	}
+	return v
+}
+
+// AddClause adds a clause (a disjunction of literals). Returns false
+// if the formula is already unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.okay {
+		return false
+	}
+	// Simplify: dedupe, drop false literals, detect tautology.
+	sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+	out := lits[:0]
+	var prev Lit = -1
+	for _, l := range lits {
+		if l == prev {
+			continue
+		}
+		if prev >= 0 && l == prev.Not() {
+			return true // tautology
+		}
+		switch s.valueLit(l) {
+		case lTrue:
+			return true // satisfied at level 0
+		case lFalse:
+			if s.level[l.Var()] == 0 {
+				continue // permanently false
+			}
+		}
+		out = append(out, l)
+		prev = l
+	}
+	lits = out
+	switch len(lits) {
+	case 0:
+		s.okay = false
+		return false
+	case 1:
+		if !s.enqueue(lits[0], nil) {
+			s.okay = false
+			return false
+		}
+		if conf := s.propagate(); conf != nil {
+			s.okay = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: append([]Lit(nil), lits...)}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+	return true
+}
+
+func (s *Solver) watch(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], c)
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+}
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.valueLit(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		ws := s.watches[p]
+		s.watches[p] = nil
+		for wi := 0; wi < len(ws); wi++ {
+			c := ws[wi]
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If the first watch is true, the clause is satisfied.
+			if s.valueLit(c.lits[0]) == lTrue {
+				s.watches[p] = append(s.watches[p], c)
+				continue
+			}
+			// Find a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			s.watches[p] = append(s.watches[p], c)
+			if !s.enqueue(c.lits[0], c) {
+				// Conflict: restore remaining watches and return.
+				s.watches[p] = append(s.watches[p], ws[wi+1:]...)
+				s.qhead = len(s.trail)
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Solver) analyze(conf *clause) (learnt []Lit, backLevel int) {
+	counter := 0
+	var p Lit = -1
+	learnt = append(learnt, 0) // placeholder for the asserting literal
+	idx := len(s.trail) - 1
+
+	c := conf
+	for {
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal to look at.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.reason[v]
+	}
+	learnt[0] = p.Not()
+
+	// Compute backtrack level (second-highest level in the clause).
+	backLevel = 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		backLevel = s.level[learnt[1].Var()]
+	}
+	for _, l := range learnt {
+		s.seen[l.Var()] = false
+	}
+	return learnt, backLevel
+}
+
+func (s *Solver) backtrackTo(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		s.level[v] = -1
+		s.order.push(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc /= 0.95
+	s.claInc /= 0.999
+}
+
+func (s *Solver) pickBranchVar() int {
+	for {
+		v, ok := s.order.pop()
+		if !ok {
+			return -1
+		}
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+}
+
+// reduceDB removes half of the learnt clauses with lowest activity.
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool { return s.learnts[i].act > s.learnts[j].act })
+	keep := len(s.learnts) / 2
+	for _, c := range s.learnts[keep:] {
+		if s.isReason(c) || len(c.lits) <= 2 {
+			s.learnts = append(s.learnts[:keep], c)
+			keep++
+			continue
+		}
+		s.unwatch(c)
+	}
+	s.learnts = s.learnts[:keep]
+}
+
+func (s *Solver) isReason(c *clause) bool {
+	v := c.lits[0].Var()
+	return s.reason[v] == c && s.assign[v] != lUndef
+}
+
+func (s *Solver) unwatch(c *clause) {
+	for _, l := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[l]
+		for i, w := range ws {
+			if w == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[l] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// luby computes the Luby restart sequence value for index i (1-based):
+// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+func luby(i int) int {
+	k := 1
+	for (1<<uint(k))-1 < i {
+		k++
+	}
+	if (1<<uint(k))-1 == i {
+		return 1 << uint(k-1)
+	}
+	return luby(i - ((1 << uint(k-1)) - 1))
+}
+
+// Solve runs the CDCL loop. It returns Sat with a complete model
+// retrievable via Value, Unsat, or an error if the conflict budget is
+// exhausted.
+func (s *Solver) Solve() (Status, error) {
+	if !s.okay {
+		return Unsat, nil
+	}
+	if conf := s.propagate(); conf != nil {
+		s.okay = false
+		return Unsat, nil
+	}
+	restartN := 1
+	conflictsAtRestart := 0
+	restartLimit := 64 * luby(restartN)
+	maxLearnts := len(s.clauses)/2 + 500
+
+	for {
+		conf := s.propagate()
+		if conf != nil {
+			s.conflicts++
+			conflictsAtRestart++
+			if s.Budget > 0 && s.conflicts > s.Budget {
+				return Unknown, ErrBudget
+			}
+			if s.decisionLevel() == 0 {
+				s.okay = false
+				return Unsat, nil
+			}
+			learnt, backLevel := s.analyze(conf)
+			s.backtrackTo(backLevel)
+			if len(learnt) == 1 {
+				s.enqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true, act: s.claInc}
+				s.learnts = append(s.learnts, c)
+				s.watch(c)
+				s.enqueue(learnt[0], c)
+			}
+			s.decayActivities()
+			continue
+		}
+		if conflictsAtRestart >= restartLimit {
+			restartN++
+			restartLimit = 64 * luby(restartN)
+			conflictsAtRestart = 0
+			s.backtrackTo(0)
+			continue
+		}
+		if len(s.learnts) > maxLearnts {
+			s.reduceDB()
+			maxLearnts += 200
+		}
+		v := s.pickBranchVar()
+		if v == -1 {
+			return Sat, nil // complete assignment
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		// Phase saving would go here; default to false first, which
+		// biases toward sparse counterexamples.
+		s.enqueue(MkLit(v, true), nil)
+	}
+}
+
+// Value returns the model value of variable v after Sat.
+func (s *Solver) Value(v int) bool { return s.assign[v] == lTrue }
+
+// varHeap is a max-heap over variable activity.
+type varHeap struct {
+	s     *Solver
+	heap  []int
+	index map[int]int
+}
+
+func (h *varHeap) less(a, b int) bool {
+	return h.s.activity[h.heap[a]] > h.s.activity[h.heap[b]]
+}
+
+func (h *varHeap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.index[h.heap[a]] = a
+	h.index[h.heap[b]] = b
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h.less(c+1, c) {
+			c++
+		}
+		if !h.less(c, i) {
+			break
+		}
+		h.swap(i, c)
+		i = c
+	}
+}
+
+func (h *varHeap) push(v int) {
+	if h.index == nil {
+		h.index = map[int]int{}
+	}
+	if _, in := h.index[v]; in {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.index[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pop() (int, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	delete(h.index, v)
+	if last > 0 {
+		h.down(0)
+	}
+	return v, true
+}
+
+func (h *varHeap) update(v int) {
+	if i, in := h.index[v]; in {
+		h.up(i)
+	}
+}

@@ -1,0 +1,247 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	s.AddClause(MkLit(a, true))
+	st, err := s.Solve()
+	if err != nil || st != Sat {
+		t.Fatalf("status = %v, err = %v", st, err)
+	}
+	if s.Value(a) || !s.Value(b) {
+		t.Errorf("model a=%v b=%v, want a=false b=true", s.Value(a), s.Value(b))
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	s.AddClause(MkLit(a, true))
+	st, err := s.Solve()
+	if err != nil || st != Unsat {
+		t.Fatalf("status = %v, err = %v, want Unsat", st, err)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if s.AddClause() {
+		t.Error("AddClause() with no literals should return false")
+	}
+	st, _ := s.Solve()
+	if st != Unsat {
+		t.Errorf("status = %v, want Unsat", st)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if !s.AddClause(MkLit(a, false), MkLit(a, true)) {
+		t.Error("tautology should be accepted")
+	}
+	st, _ := s.Solve()
+	if st != Sat {
+		t.Errorf("status = %v, want Sat", st)
+	}
+}
+
+// pigeonhole encodes PHP(n+1, n): n+1 pigeons into n holes. Unsat.
+func pigeonhole(s *Solver, pigeons, holes int) {
+	vars := make([][]int, pigeons)
+	for p := range vars {
+		vars[p] = make([]int, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	// Each pigeon in some hole.
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = MkLit(vars[p][h], false)
+		}
+		s.AddClause(lits...)
+	}
+	// No two pigeons share a hole.
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(MkLit(vars[p1][h], true), MkLit(vars[p2][h], true))
+			}
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s := New()
+		pigeonhole(s, n+1, n)
+		st, err := s.Solve()
+		if err != nil {
+			t.Fatalf("php(%d): %v", n, err)
+		}
+		if st != Unsat {
+			t.Errorf("php(%d+1,%d) = %v, want Unsat", n, n, st)
+		}
+	}
+}
+
+func TestPigeonholeSatWhenEnoughHoles(t *testing.T) {
+	s := New()
+	pigeonhole(s, 5, 5)
+	st, err := s.Solve()
+	if err != nil || st != Sat {
+		t.Fatalf("php(5,5) = %v, err=%v, want Sat", st, err)
+	}
+}
+
+// bruteForce checks satisfiability of a CNF over nVars by enumeration.
+func bruteForce(nVars int, cnf [][]Lit) bool {
+	for m := 0; m < 1<<uint(nVars); m++ {
+		ok := true
+		for _, cl := range cnf {
+			clauseSat := false
+			for _, l := range cl {
+				val := m>>uint(l.Var())&1 == 1
+				if l.Neg() {
+					val = !val
+				}
+				if val {
+					clauseSat = true
+					break
+				}
+			}
+			if !clauseSat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRandom3SATAgainstBruteForce cross-checks the solver on many
+// random small instances, including the model it returns.
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 4 + rng.Intn(8)
+		nClauses := 5 + rng.Intn(40)
+		var cnf [][]Lit
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for c := 0; c < nClauses; c++ {
+			k := 1 + rng.Intn(3)
+			cl := make([]Lit, k)
+			for i := range cl {
+				cl[i] = MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+			}
+			cnf = append(cnf, cl)
+			s.AddClause(cl...)
+		}
+		want := bruteForce(nVars, cnf)
+		st, err := s.Solve()
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if (st == Sat) != want {
+			t.Fatalf("iter %d: solver=%v bruteforce=%v", iter, st, want)
+		}
+		if st == Sat {
+			// Verify the model satisfies every clause.
+			for ci, cl := range cnf {
+				ok := false
+				for _, l := range cl {
+					val := s.Value(l.Var())
+					if l.Neg() {
+						val = !val
+					}
+					if val {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("iter %d: model violates clause %d", iter, ci)
+				}
+			}
+		}
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	s := New()
+	pigeonhole(s, 9, 8) // hard enough to exceed a tiny budget
+	s.Budget = 5
+	st, err := s.Solve()
+	if err != ErrBudget {
+		t.Fatalf("status=%v err=%v, want ErrBudget", st, err)
+	}
+}
+
+func TestLubySequence(t *testing.T) {
+	want := []int{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(i + 1); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestChainImplications(t *testing.T) {
+	// x0 -> x1 -> ... -> x99, with x0 forced true and x99 forced false: unsat.
+	s := New()
+	const n = 100
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(MkLit(vars[i], true), MkLit(vars[i+1], false))
+	}
+	s.AddClause(MkLit(vars[0], false))
+	s.AddClause(MkLit(vars[n-1], true))
+	st, err := s.Solve()
+	if err != nil || st != Unsat {
+		t.Fatalf("chain: %v, %v, want Unsat", st, err)
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	l := MkLit(7, true)
+	if l.Var() != 7 || !l.Neg() {
+		t.Errorf("MkLit(7,true): var=%d neg=%v", l.Var(), l.Neg())
+	}
+	if l.Not().Neg() || l.Not().Var() != 7 {
+		t.Error("Not() wrong")
+	}
+	if l.Not().Not() != l {
+		t.Error("double negation not identity")
+	}
+}
+
+func BenchmarkPigeonhole8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		pigeonhole(s, 8, 7)
+		st, err := s.Solve()
+		if err != nil || st != Unsat {
+			b.Fatalf("%v %v", st, err)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package sft implements the supervised warm-up stage (Fig. 3,
+// "Warm-up Model"): behaviour cloning on diagnostic-augmented samples
+// harvested from Model Zero's GRPO failures, plus the original
+// (O0, instcombine) pairs. The warm-up gives the policy a teacher
+// prior over sound actions, gives the diagnostic head its rudimentary
+// error-recognition ability, and enables the self-correction gate —
+// the "externally provided chain of thought" of the paper's
+// discussion section.
+package sft
+
+import (
+	"veriopt/internal/dataset"
+	"veriopt/internal/grpo"
+	"veriopt/internal/ir"
+	"veriopt/internal/policy"
+	"veriopt/internal/rewrite"
+)
+
+// Config controls warm-up training.
+type Config struct {
+	// Epochs over the sample set.
+	Epochs int
+	// LR is the supervised learning rate.
+	LR float64
+}
+
+// DefaultConfig matches the reproduction's runs.
+func DefaultConfig() Config { return Config{Epochs: 3, LR: 0.35} }
+
+// TeacherTrajectory computes the sound-action sequence that rewrites
+// the O0 function toward the instcombine reference: at each state the
+// first applicable sound rule, then STOP. Returns the per-step
+// (candidates, chosen) records plus the text the trajectory reaches.
+func TeacherTrajectory(m *policy.Model, input *ir.Function) ([]policy.ActionRecord, string) {
+	work := ir.CloneFunc(input)
+	var recs []policy.ActionRecord
+	for t := 0; t < m.Cap.MaxSteps; t++ {
+		stepFrac := float64(t) / float64(m.Cap.MaxSteps)
+		cands := candidateSet(m, work)
+		wf := m.WorkFeature(work)
+		// Teacher: the first applicable *real* sound rule (the cosmetic
+		// reorder optimizes nothing and is not taught), else STOP.
+		choice := -1
+		for i, a := range cands {
+			if a < len(m.Rules) && m.Rules[a].Kind == rewrite.KindSound &&
+				m.Rules[a].Name != "cosmetic-reorder" {
+				choice = i
+				break
+			}
+		}
+		if choice == -1 {
+			for i, a := range cands {
+				if a == m.ActStop() {
+					choice = i
+				}
+			}
+			recs = append(recs, policy.ActionRecord{Cands: cands, StepFrac: stepFrac, Work: wf, Chosen: choice})
+			return recs, ir.CanonicalText(work)
+		}
+		recs = append(recs, policy.ActionRecord{Cands: cands, StepFrac: stepFrac, Work: wf, Chosen: choice})
+		m.Rules[cands[choice]].Apply(work, nil)
+	}
+	return recs, ir.CanonicalText(work)
+}
+
+// candidateSet mirrors the policy's candidate enumeration (kept in
+// sync through the shared exported surface).
+func candidateSet(m *policy.Model, f *ir.Function) []int {
+	var cands []int
+	for i, r := range m.Rules {
+		if r.Kind == rewrite.KindCorrupt || r.Applicable(f) {
+			cands = append(cands, i)
+		}
+	}
+	cands = append(cands, m.ActStop(), m.ActFormatBreak())
+	return cands
+}
+
+// Stats summarizes a warm-up run.
+type Stats struct {
+	// CloneSteps is the number of behaviour-cloning gradient steps.
+	CloneSteps int
+	// DiagExamples is the number of supervised diagnostic examples.
+	DiagExamples int
+	// TeacherMatchFrac is the fraction of samples whose teacher
+	// trajectory reproduces the reference text exactly.
+	TeacherMatchFrac float64
+}
+
+// WarmUp runs the supervised stage on the model in place: behaviour
+// cloning of first-time samples (teacher trajectories toward the
+// instcombine label) and diagnostic training from correction-augmented
+// samples (Model Zero failures with their true verifier feedback).
+func WarmUp(m *policy.Model, samples []*dataset.Sample, failures []*grpo.FailureSample, cfg Config) Stats {
+	var st Stats
+	matches := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// First-time augmented samples: clone the teacher.
+		for _, s := range samples {
+			recs, reached := TeacherTrajectory(m, s.O0)
+			if epoch == 0 {
+				if ir.FingerprintText(reached) == ir.FingerprintText(s.RefText) {
+					matches++
+				}
+			}
+			h := m.HashFeatures(ir.CanonicalText(s.O0))
+			for _, rec := range recs {
+				cloneStep(m, rec, h, cfg.LR)
+				st.CloneSteps++
+			}
+			// The first-time diagnosis target is OK.
+			trainDiag(m, h, recs, policy.DiagOK, "", cfg.LR)
+			st.DiagExamples++
+		}
+		// Correction-augmented samples: learn the true diagnosis for
+		// each observed failure, the association between the rules used
+		// and the error subclass, and — the corrective half of Fig. 2 —
+		// a margin against the actions the diagnostic blamed.
+		for _, fs := range failures {
+			h := m.HashFeatures(ir.CanonicalText(fs.Sample.O0))
+			recs := reconstructRecords(m, fs)
+			trainDiag(m, h, recs, fs.TrueClass, fs.TrueDiag, cfg.LR)
+			if fs.TrueClass != policy.DiagOK {
+				penalizeBlamed(m, fs, cfg.LR/2)
+			}
+			st.DiagExamples++
+		}
+	}
+	// The warm-up teaches the model to attempt self-correction.
+	m.SelfCorrectGate = 2.0
+	m.Clamp()
+	if len(samples) > 0 {
+		st.TeacherMatchFrac = float64(matches) / float64(len(samples))
+	}
+	return st
+}
+
+// cloneStep applies one cross-entropy gradient step toward the
+// teacher action.
+func cloneStep(m *policy.Model, rec policy.ActionRecord, h []float64, lr float64) {
+	probs := m.Softmax(rec.Cands, rec.StepFrac, rec.Work, h, 1.0)
+	for i, a := range rec.Cands {
+		ind := 0.0
+		if i == rec.Chosen {
+			ind = 1
+		}
+		coeff := lr * (ind - probs[i])
+		m.B[a] += coeff
+		m.S[a] += coeff * rec.StepFrac
+		m.P[a] += coeff * rec.Work
+	}
+}
+
+// penalizeBlamed pushes down the failure-causing rules named in a
+// correction-augmented sample: the supervised counterpart of cloning
+// the corrected answer instead of the wrong attempt.
+func penalizeBlamed(m *policy.Model, fs *grpo.FailureSample, lr float64) {
+	nameToIdx := map[string]int{}
+	for i, r := range m.Rules {
+		nameToIdx[r.Name] = i
+	}
+	for _, name := range fs.UsedRules {
+		idx, ok := nameToIdx[name]
+		if !ok {
+			continue
+		}
+		k := m.Rules[idx].Kind
+		if k != rewrite.KindCorrupt && k != rewrite.KindUnsound {
+			continue
+		}
+		m.B[idx] -= lr
+		m.P[idx] -= lr
+	}
+}
+
+// reconstructRecords rebuilds action records for a harvested failure
+// so the diagnostic features reflect what the failing trajectory did.
+func reconstructRecords(m *policy.Model, fs *grpo.FailureSample) []policy.ActionRecord {
+	// Only the rule kinds matter for the features; synthesize records
+	// whose chosen actions are the named rules.
+	nameToIdx := map[string]int{}
+	for i, r := range m.Rules {
+		nameToIdx[r.Name] = i
+	}
+	var recs []policy.ActionRecord
+	for _, name := range fs.UsedRules {
+		if idx, ok := nameToIdx[name]; ok {
+			recs = append(recs, policy.ActionRecord{Cands: []int{idx}, Chosen: 0})
+		}
+	}
+	return recs
+}
+
+// trainDiag applies one supervised step on the diagnostic head toward
+// the true class, and perceptron-bumps the subclass association for
+// semantic errors.
+func trainDiag(m *policy.Model, h []float64, recs []policy.ActionRecord, trueClass policy.DiagClass, trueDiag string, lr float64) {
+	f := m.DiagFeatures(h, recs)
+	probs := m.Diag.ClassProbs(f, 1.0)
+	for c := range probs {
+		ind := 0.0
+		if c == int(trueClass) {
+			ind = 1
+		}
+		coeff := lr * (ind - probs[c])
+		for j, fj := range f {
+			m.Diag.W[c][j] += coeff * fj
+		}
+	}
+	if trueClass == policy.DiagSemanticError && trueDiag != "" {
+		sub := policy.SubclassForDiag(trueDiag)
+		for _, rec := range recs {
+			a := rec.Cands[rec.Chosen]
+			m.Diag.BumpSub(sub, a, lr)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Package tokenizer splits IR text into tokens for BLEU scoring and
+// context-length filtering, standing in for the Qwen tokenizer the
+// paper uses to cap samples at 2048 tokens.
+package tokenizer
+
+import "strings"
+
+// MaxContextTokens is the paper's context-window cap (§IV-A note 5).
+const MaxContextTokens = 2048
+
+// Tokenize splits IR text into a deterministic token stream:
+// identifiers and numbers are single tokens, punctuation characters
+// are individual tokens, whitespace separates.
+func Tokenize(s string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			flush()
+		case strings.ContainsRune("()[]{},=:*", r):
+			flush()
+			toks = append(toks, string(r))
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return toks
+}
+
+// Count returns the token count of s.
+func Count(s string) int { return len(Tokenize(s)) }
+
+// FitsContext reports whether s fits in the model context window.
+func FitsContext(s string) bool { return Count(s) <= MaxContextTokens }

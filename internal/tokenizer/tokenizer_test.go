@@ -1,0 +1,79 @@
+package tokenizer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeIRLine(t *testing.T) {
+	toks := Tokenize("%2 = add nsw i32 %0, 1")
+	want := []string{"%2", "=", "add", "nsw", "i32", "%0", ",", "1"}
+	if len(toks) != len(want) {
+		t.Fatalf("got %v, want %v", toks, want)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestCountAndContext(t *testing.T) {
+	short := "define i32 @f() { ret i32 0 }"
+	if !FitsContext(short) {
+		t.Error("short function should fit the context window")
+	}
+	long := strings.Repeat("tok ", MaxContextTokens+10)
+	if FitsContext(long) {
+		t.Error("overlong input should not fit")
+	}
+	if Count("") != 0 {
+		t.Error("empty string should have zero tokens")
+	}
+}
+
+func TestTokenizeDeterministic(t *testing.T) {
+	check := func(seed uint32) bool {
+		words := []string{"add", "i32", "%0", "(", ")", ",", "store"}
+		var sb strings.Builder
+		s := seed
+		for i := 0; i < 20; i++ {
+			s = s*1664525 + 1013904223
+			sb.WriteString(words[s%uint32(len(words))])
+			if s%3 == 0 {
+				sb.WriteByte(' ')
+			}
+		}
+		a := Tokenize(sb.String())
+		b := Tokenize(sb.String())
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPunctuationSplit(t *testing.T) {
+	toks := Tokenize("call i32 @f(i32 %0, i32 %1)")
+	joined := strings.Join(toks, "|")
+	for _, want := range []string{"(", ")", ","} {
+		found := false
+		for _, tk := range toks {
+			if tk == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("punct %q not split out of %q", want, joined)
+		}
+	}
+}
