@@ -1,0 +1,28 @@
+# Verification tiers for veriopt.
+#
+# tier1 is the repo's baseline gate: everything builds, all tests
+# pass. tier2 adds static analysis and the race detector over the
+# concurrent verification engine and worker pools (vcache, parallel
+# Evaluate, parallel GRPO steps).
+
+GO ?= go
+
+.PHONY: all tier1 tier2 bench bench-workers
+
+all: tier1 tier2
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+tier2:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Single- vs multi-worker evaluation and GRPO-step deltas (recorded
+# in EXPERIMENTS.md).
+bench-workers:
+	$(GO) test -run xxx -bench 'Workers[0-9]' -benchtime 5x .

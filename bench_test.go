@@ -12,8 +12,11 @@ import (
 
 	"veriopt/internal/dataset"
 	"veriopt/internal/experiments"
+	"veriopt/internal/grpo"
 	"veriopt/internal/instcombine"
 	"veriopt/internal/pipeline"
+	"veriopt/internal/policy"
+	"veriopt/internal/vcache"
 )
 
 var (
@@ -137,3 +140,74 @@ func BenchmarkGreedyInferenceWithVerification(b *testing.B) {
 		}
 	}
 }
+
+// benchEvalWorkers measures evaluation throughput at a fixed worker
+// count: the cmdTrain-style model suite (base, correctness, latency)
+// over the validation set, starting each iteration from a cold
+// private verdict cache. Different curriculum stages frequently emit
+// the same output for a sample (e.g. both copy the input), so the
+// verdict cache takes hits within a single iteration; the hit counter
+// is asserted and reported.
+func benchEvalWorkers(b *testing.B, workers int) {
+	c := benchContext(b)
+	res, err := c.Pipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	val, err := c.Val()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := vcache.New(vcache.Config{})
+	cfg := pipeline.EvalConfig{Verify: pipeline.EvalOptions(), Workers: workers, Engine: eng}
+	models := []*policy.Model{res.Base, res.Correctness, res.Latency}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Reset()
+		for _, m := range models {
+			rep := pipeline.EvaluateWith(m, val, false, cfg)
+			if rep.Total() != len(val) {
+				b.Fatal("evaluation lost samples")
+			}
+		}
+	}
+	b.StopTimer()
+	s := eng.Stats()
+	if s.Hits == 0 {
+		b.Fatal("verdict cache recorded no hits")
+	}
+	b.ReportMetric(float64(s.Hits)/float64(s.Queries)*100, "cache-hit-%")
+}
+
+// BenchmarkEvaluateWorkers1 is the sequential evaluation baseline for
+// the concurrency speedup (EXPERIMENTS.md records the measured delta
+// against BenchmarkEvaluateWorkers4).
+func BenchmarkEvaluateWorkers1(b *testing.B) { benchEvalWorkers(b, 1) }
+
+// BenchmarkEvaluateWorkers4 is the 4-worker evaluation fan-out.
+func BenchmarkEvaluateWorkers4(b *testing.B) { benchEvalWorkers(b, 4) }
+
+// BenchmarkTrainerStepWorkers1 and ...Workers4 measure one GRPO step
+// (rollout + verification grid) at fixed worker counts; training is
+// bit-identical at any value, so the delta is pure wall-clock.
+func benchTrainerStep(b *testing.B, workers int) {
+	samples, err := dataset.Generate(dataset.Config{Seed: 11, N: 48})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := policy.New(policy.CapQwen3B, 5)
+	cfg := grpo.DefaultConfig()
+	cfg.Workers = workers
+	tr := grpo.NewTrainer(m, samples, cfg, 17)
+	tr.Engine = vcache.New(vcache.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Step()
+	}
+}
+
+// BenchmarkTrainerStepWorkers1 is the sequential GRPO-step baseline.
+func BenchmarkTrainerStepWorkers1(b *testing.B) { benchTrainerStep(b, 1) }
+
+// BenchmarkTrainerStepWorkers4 fans the rollout grid over 4 workers.
+func BenchmarkTrainerStepWorkers4(b *testing.B) { benchTrainerStep(b, 4) }

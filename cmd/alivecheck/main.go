@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	alivecheck source.ll target.ll
+//	alivecheck [-paths n] [-budget n] [-workers n] [-stats] source.ll target.ll
+//
+// Both files may hold whole modules: functions are paired by name and
+// validated concurrently across -workers goroutines through the
+// memoizing verification engine (internal/vcache), so duplicate
+// function bodies are proven once.
 //
 // Exit status: 0 equivalent, 1 semantic/syntax error, 2 inconclusive,
 // 3 usage or source errors.
@@ -14,24 +19,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"veriopt/internal/alive"
+	"veriopt/internal/ir"
+	"veriopt/internal/vcache"
 )
 
 func main() {
 	paths := flag.Int("paths", 0, "max CFG paths (0 = default)")
 	budget := flag.Int("budget", 0, "SAT conflict budget (0 = default)")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent verification workers")
+	stats := flag.Bool("stats", false, "print verification-engine stats to stderr")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: alivecheck [-paths n] [-budget n] source.ll target.ll")
+		fmt.Fprintln(os.Stderr, "usage: alivecheck [-paths n] [-budget n] [-workers n] [-stats] source.ll target.ll")
 		os.Exit(3)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	srcBlob, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(3)
 	}
-	tgt, err := os.ReadFile(flag.Arg(1))
+	tgtBlob, err := os.ReadFile(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(3)
@@ -43,19 +53,91 @@ func main() {
 	if *budget > 0 {
 		opts.SolverBudget = *budget
 	}
-	res, err := alive.VerifyText(string(src), string(tgt), opts)
+
+	results, err := check(string(srcBlob), string(tgtBlob), opts, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(3)
 	}
-	switch res.Verdict {
-	case alive.Equivalent:
-		fmt.Println("Transformation seems to be correct!")
-	case alive.SemanticError, alive.SyntaxError:
-		fmt.Println(res.Diag)
-		os.Exit(1)
-	case alive.Inconclusive:
-		fmt.Println(res.Diag)
-		os.Exit(2)
+	worst := 0
+	for _, r := range results {
+		if len(results) > 1 {
+			fmt.Printf("---- @%s ----\n", r.name)
+		}
+		switch r.res.Verdict {
+		case alive.Equivalent:
+			fmt.Println("Transformation seems to be correct!")
+		case alive.SemanticError, alive.SyntaxError:
+			fmt.Println(r.res.Diag)
+			if worst < 1 {
+				worst = 1
+			}
+		case alive.Inconclusive:
+			fmt.Println(r.res.Diag)
+			if worst < 2 {
+				worst = 2
+			}
+		}
 	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, vcache.Default.Stats())
+	}
+	os.Exit(worst)
+}
+
+type funcResult struct {
+	name string
+	res  alive.Result
+}
+
+// check validates every target function against the same-named source
+// function, fanning the queries out across the worker pool. The
+// single-function case preserves alivecheck's original behavior
+// (names need not match).
+func check(srcText, tgtText string, opts alive.Options, workers int) ([]funcResult, error) {
+	srcMod, err := ir.Parse(srcText)
+	if err != nil {
+		return nil, fmt.Errorf("source does not parse: %w", err)
+	}
+	if err := ir.VerifyModule(srcMod); err != nil {
+		return nil, fmt.Errorf("source does not verify: %w", err)
+	}
+	if len(srcMod.Funcs) == 1 {
+		res, err := alive.VerifyText(srcText, tgtText, opts)
+		if err != nil {
+			return nil, err
+		}
+		return []funcResult{{name: srcMod.Funcs[0].Name(), res: res}}, nil
+	}
+
+	srcByName := make(map[string]*ir.Function, len(srcMod.Funcs))
+	for _, f := range srcMod.Funcs {
+		srcByName[f.Name()] = f
+	}
+	tgtMod, err := ir.Parse(tgtText)
+	if err != nil {
+		// An unparsable multi-function target is a syntax error on the
+		// whole file, mirroring the single-function diagnostic.
+		return []funcResult{{name: "<module>", res: alive.Result{
+			Verdict: alive.SyntaxError,
+			Diag:    "ERROR: couldn't parse transformed IR: " + err.Error(),
+		}}}, nil
+	}
+	out := make([]funcResult, len(tgtMod.Funcs))
+	vcache.ParallelFor(workers, len(tgtMod.Funcs), func(i int) {
+		tf := tgtMod.Funcs[i]
+		out[i].name = tf.Name()
+		sf, ok := srcByName[tf.Name()]
+		if !ok {
+			out[i].res = alive.Result{Verdict: alive.SyntaxError,
+				Diag: fmt.Sprintf("ERROR: target function @%s has no source counterpart", tf.Name())}
+			return
+		}
+		if err := ir.VerifyFunc(tf); err != nil {
+			out[i].res = alive.Result{Verdict: alive.SyntaxError, Diag: "ERROR: invalid IR: " + err.Error()}
+			return
+		}
+		out[i].res = vcache.Default.VerifyFuncs(sf, tf, opts)
+	})
+	return out, nil
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"veriopt/internal/ir"
 	"veriopt/internal/pipeline"
 	"veriopt/internal/policy"
+	"veriopt/internal/vcache"
 )
 
 func main() {
@@ -73,19 +75,22 @@ subcommands:
   list         list experiment ids`)
 }
 
-func commonFlags(fs *flag.FlagSet) (*int, *int64, *int, *int, *int) {
+func commonFlags(fs *flag.FlagSet) (*int, *int64, *int, *int, *int, *int) {
 	n := fs.Int("n", 240, "corpus size (train+validation)")
 	seed := fs.Int64("seed", 42, "random seed")
 	s1 := fs.Int("stage1", 10, "Model Zero GRPO steps")
 	s2 := fs.Int("stage2", 120, "Model-Correctness GRPO steps")
 	s3 := fs.Int("stage3", 80, "Model-Latency GRPO steps")
-	return n, seed, s1, s2, s3
+	workers := fs.Int("workers", runtime.NumCPU(),
+		"verification/rollout worker count (results are identical at any value)")
+	return n, seed, s1, s2, s3, workers
 }
 
-func buildContext(n int, seed int64, s1, s2, s3 int) *experiments.Context {
+func buildContext(n int, seed int64, s1, s2, s3, workers int) *experiments.Context {
 	cfg := experiments.DefaultConfig()
 	cfg.CorpusN = n
 	cfg.Seed = seed
+	cfg.Workers = workers
 	cfg.Stage.Stage1Steps = s1
 	cfg.Stage.Stage2Steps = s2
 	cfg.Stage.Stage3Steps = s3
@@ -96,14 +101,20 @@ func buildContext(n int, seed int64, s1, s2, s3 int) *experiments.Context {
 	return ctx
 }
 
+// reportVerifierStats prints the process-wide verification-engine
+// counters (queries, cache hits, solver wall time) to stderr.
+func reportVerifierStats() {
+	fmt.Fprintf(os.Stderr, "[%s]\n", vcache.Default.Stats())
+}
+
 func cmdExperiments(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	run := fs.String("run", "all", "experiment id or 'all'")
-	n, seed, s1, s2, s3 := commonFlags(fs)
+	n, seed, s1, s2, s3, workers := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx := buildContext(*n, *seed, *s1, *s2, *s3)
+	ctx := buildContext(*n, *seed, *s1, *s2, *s3, *workers)
 	ids := experiments.IDs()
 	if *run != "all" {
 		ids = strings.Split(*run, ",")
@@ -117,17 +128,18 @@ func cmdExperiments(args []string) error {
 		fmt.Println(experiments.Render(out))
 		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
 	}
+	reportVerifierStats()
 	return nil
 }
 
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	save := fs.String("save", "", "write the trained Model-Latency policy to this JSON file")
-	n, seed, s1, s2, s3 := commonFlags(fs)
+	n, seed, s1, s2, s3, workers := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx := buildContext(*n, *seed, *s1, *s2, *s3)
+	ctx := buildContext(*n, *seed, *s1, *s2, *s3, *workers)
 	res, err := ctx.Pipeline()
 	if err != nil {
 		return err
@@ -136,16 +148,16 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	vo := pipeline.EvalOptions()
+	ec := pipeline.EvalConfig{Verify: pipeline.EvalOptions(), Workers: *workers}
 	rows := []struct {
 		name string
 		rep  *pipeline.Report
 	}{
-		{"base", pipeline.Evaluate(res.Base, val, false, vo)},
-		{"model-zero", pipeline.Evaluate(res.ModelZero, val, false, vo)},
-		{"warm-up", pipeline.Evaluate(res.WarmUp, val, true, vo)},
-		{"correctness", pipeline.Evaluate(res.Correctness, val, true, vo)},
-		{"latency", pipeline.Evaluate(res.Latency, val, false, vo)},
+		{"base", pipeline.EvaluateWith(res.Base, val, false, ec)},
+		{"model-zero", pipeline.EvaluateWith(res.ModelZero, val, false, ec)},
+		{"warm-up", pipeline.EvaluateWith(res.WarmUp, val, true, ec)},
+		{"correctness", pipeline.EvaluateWith(res.Correctness, val, true, ec)},
+		{"latency", pipeline.EvaluateWith(res.Latency, val, false, ec)},
 	}
 	fmt.Printf("%-12s %9s %9s %13s %9s\n", "model", "correct%", "copies%", "diff-correct%", "speedup")
 	for _, r := range rows {
@@ -155,6 +167,7 @@ func cmdTrain(args []string) error {
 			100*r.rep.DifferentCorrectFrac(), pipeline.GeomeanSpeedup(r.rep))
 	}
 	fmt.Printf("instcombine reference speedup: %.2fx\n", pipeline.RefGeomeanSpeedup(rows[len(rows)-1].rep))
+	reportVerifierStats()
 	if *save != "" {
 		blob, err := json.MarshalIndent(res.Latency, "", " ")
 		if err != nil {
@@ -174,6 +187,7 @@ func cmdTrain(args []string) error {
 func cmdOptimize(args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
 	modelPath := fs.String("model", "", "trained policy JSON (from train -save); empty = use instcombine only")
+	workers := fs.Int("workers", runtime.NumCPU(), "verification worker count")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -203,7 +217,13 @@ func cmdOptimize(args []string) error {
 		}
 	}
 	opts := alive.DefaultOptions()
-	for i, f := range m.Funcs {
+	// Generate + verify every function in parallel; notes and the
+	// module rewrite are applied sequentially afterwards so output
+	// order is deterministic.
+	notes := make([]string, len(m.Funcs))
+	accepted := make([]*ir.Function, len(m.Funcs))
+	vcache.ParallelFor(*workers, len(m.Funcs), func(i int) {
+		f := m.Funcs[i]
 		var cand *ir.Function
 		if model != nil {
 			ep := model.Generate(f, policy.GenOptions{})
@@ -214,18 +234,26 @@ func cmdOptimize(args []string) error {
 			cand = instcombine.Run(f)
 		}
 		if cand == nil {
-			fmt.Fprintf(os.Stderr, "; @%s: output rejected (parse), keeping input\n", f.Name())
-			continue
+			notes[i] = fmt.Sprintf("; @%s: output rejected (parse), keeping input", f.Name())
+			return
 		}
-		res := alive.VerifyFuncs(f, cand, opts)
+		res := vcache.Default.VerifyFuncs(f, cand, opts)
 		if res.Verdict != alive.Equivalent {
-			fmt.Fprintf(os.Stderr, "; @%s: verifier verdict %s, keeping input\n", f.Name(), res.Verdict)
+			notes[i] = fmt.Sprintf("; @%s: verifier verdict %s, keeping input", f.Name(), res.Verdict)
+			return
+		}
+		accepted[i] = cand
+	})
+	for i, cand := range accepted {
+		if cand == nil {
+			fmt.Fprintln(os.Stderr, notes[i])
 			continue
 		}
-		cand.NameStr = f.NameStr
+		cand.NameStr = m.Funcs[i].NameStr
 		m.Funcs[i] = cand
 	}
 	fmt.Print(ir.Print(m))
+	reportVerifierStats()
 	return nil
 }
 

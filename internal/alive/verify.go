@@ -46,6 +46,11 @@ type Result struct {
 }
 
 // Options controls verification limits.
+//
+// Options must remain a comparable value type (plain scalar fields,
+// no slices/maps/pointers): it is part of the verdict-cache key in
+// internal/vcache, and two queries with equal Options must be
+// interchangeable.
 type Options struct {
 	// MaxPaths bounds the number of CFG paths explored per function.
 	MaxPaths int
@@ -54,6 +59,9 @@ type Options struct {
 	// SolverBudget bounds SAT conflicts per query (0 = unlimited).
 	SolverBudget int
 }
+
+// Compile-time guarantee that Options stays usable as a map key.
+var _ = map[Options]struct{}{}
 
 // DefaultOptions mirror Alive2's bounded-validation posture: generous
 // enough for peephole-sized functions, finite for loops.

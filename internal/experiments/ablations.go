@@ -42,15 +42,16 @@ func AblationGRPO(c *Context) (*Outcome, error) {
 	nums := map[string]float64{}
 	fmt.Fprintf(&sb, "GRPO variants, %d steps each from the same base model:\n", steps)
 	fmt.Fprintf(&sb, "%-38s %12s %12s %10s\n", "Variant", "DiffCorrect%", "Correct%", "Speedup")
-	vo := pipeline.EvalOptions()
+	vo := c.EvalConfig(pipeline.EvalOptions())
 	for i, v := range variants {
 		m := res.Base.Clone()
 		cfg := c.Cfg.Stage.GRPO
 		cfg.Mode = grpo.ModeCorrectness
+		cfg.Workers = c.Cfg.Workers
 		v.mutate(&cfg)
 		tr := grpo.NewTrainer(m, train, cfg, c.Cfg.Seed+7000+int64(i))
 		tr.Train(steps)
-		rep := pipeline.Evaluate(m, val, false, vo)
+		rep := pipeline.EvaluateWith(m, val, false, vo)
 		sp := pipeline.GeomeanSpeedup(rep)
 		fmt.Fprintf(&sb, "%-38s %11.1f%% %11.1f%% %9.2fx\n",
 			v.name, 100*rep.DifferentCorrectFrac(), 100*rep.CorrectFrac(), sp)
@@ -73,9 +74,9 @@ func AblationVerifier(c *Context) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	vo := pipeline.EvalOptions()
-	baseRep := pipeline.Evaluate(res.Base, val, false, vo)
-	latRep := pipeline.Evaluate(res.Latency, val, false, vo)
+	vo := c.EvalConfig(pipeline.EvalOptions())
+	baseRep := pipeline.EvaluateWith(res.Base, val, false, vo)
+	latRep := pipeline.EvaluateWith(res.Latency, val, false, vo)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Verifier as post-filter only (base model + fallback): diff-correct %.1f%%, speedup %.2fx\n",
 		100*baseRep.DifferentCorrectFrac(), pipeline.GeomeanSpeedup(baseRep))

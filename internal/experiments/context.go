@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 
+	"veriopt/internal/alive"
 	"veriopt/internal/baselines"
 	"veriopt/internal/dataset"
 	"veriopt/internal/pipeline"
@@ -23,6 +24,10 @@ type Config struct {
 	ValFrac float64
 	// Seed drives corpus generation and training.
 	Seed int64
+	// Workers bounds the rollout/verification fan-out of training and
+	// evaluation (<= 0 selects runtime.NumCPU()). Results do not
+	// depend on the worker count.
+	Workers int
 	// Stage configures the curriculum.
 	Stage pipeline.StageConfig
 }
@@ -100,10 +105,18 @@ func (c *Context) Pipeline() (*pipeline.Result, error) {
 		}
 		cfg := c.Cfg.Stage
 		cfg.Seed = c.Cfg.Seed
+		cfg.Workers = c.Cfg.Workers
 		c.progress("training curriculum (stages 1-3)...")
 		c.res = pipeline.Run(train, cfg)
 	}
 	return c.res, nil
+}
+
+// EvalConfig builds the evaluation config experiments should use: the
+// given verification limits plus the context's worker bound (the
+// process-wide verdict cache is shared by default).
+func (c *Context) EvalConfig(vo alive.Options) pipeline.EvalConfig {
+	return pipeline.EvalConfig{Verify: vo, Workers: c.Cfg.Workers}
 }
 
 // Baselines returns the Fig. 5 comparison suite.

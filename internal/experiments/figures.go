@@ -101,7 +101,7 @@ func Fig5(c *Context) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	vo := pipeline.EvalOptions()
+	vo := c.EvalConfig(pipeline.EvalOptions())
 	var sb strings.Builder
 	nums := map[string]float64{}
 	fmt.Fprintf(&sb, "%-22s %7s %10s %12s %10s %10s\n",
@@ -114,9 +114,9 @@ func Fig5(c *Context) (*Outcome, error) {
 	}
 	var rows []row
 	for _, b := range bl {
-		rows = append(rows, row{b.Name, b.Params, pipeline.Evaluate(b.Model, val, b.Augmented, vo)})
+		rows = append(rows, row{b.Name, b.Params, pipeline.EvaluateWith(b.Model, val, b.Augmented, vo)})
 	}
-	rows = append(rows, row{"LLM-VeriOpt-3B (ours)", 3, pipeline.Evaluate(res.Latency, val, false, vo)})
+	rows = append(rows, row{"LLM-VeriOpt-3B (ours)", 3, pipeline.EvaluateWith(res.Latency, val, false, vo)})
 	for _, r := range rows {
 		sp := pipeline.GeomeanSpeedup(r.rep)
 		ic := pipeline.GeomeanRatio(r.rep, pipeline.MetricICount)
@@ -142,7 +142,7 @@ func Fig6(c *Context) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := pipeline.Evaluate(res.Latency, val, false, pipeline.EvalOptions())
+	rep := pipeline.EvaluateWith(res.Latency, val, false, c.EvalConfig(pipeline.EvalOptions()))
 	var sb strings.Builder
 	nums := map[string]float64{}
 	total := float64(rep.Total())
@@ -185,15 +185,15 @@ func Fig7(c *Context) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	vo := pipeline.EvalOptions()
+	vo := c.EvalConfig(pipeline.EvalOptions())
 	stages := []struct {
 		name string
 		rep  *pipeline.Report
 	}{
-		{"Model Zero", pipeline.Evaluate(res.ModelZero, val, false, vo)},
-		{"Warm-up", pipeline.Evaluate(res.WarmUp, val, true, vo)},
-		{"Model-Correctness", pipeline.Evaluate(res.Correctness, val, true, vo)},
-		{"Model-Latency", pipeline.Evaluate(res.Latency, val, false, vo)},
+		{"Model Zero", pipeline.EvaluateWith(res.ModelZero, val, false, vo)},
+		{"Warm-up", pipeline.EvaluateWith(res.WarmUp, val, true, vo)},
+		{"Model-Correctness", pipeline.EvaluateWith(res.Correctness, val, true, vo)},
+		{"Model-Latency", pipeline.EvaluateWith(res.Latency, val, false, vo)},
 	}
 	var sb strings.Builder
 	nums := map[string]float64{}

@@ -47,7 +47,7 @@ func Table1(c *Context) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := pipeline.Evaluate(res.Base, val, false, pipeline.EvalOptions())
+	rep := pipeline.EvaluateWith(res.Base, val, false, c.EvalConfig(pipeline.EvalOptions()))
 	total := float64(rep.Total())
 	return &Outcome{
 		ID:    "table1",
@@ -75,9 +75,9 @@ func Table2(c *Context) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	vo := pipeline.EvalOptions()
-	corr := pipeline.Evaluate(res.Correctness, val, true, vo)
-	lat := pipeline.Evaluate(res.Latency, val, false, vo)
+	vo := c.EvalConfig(pipeline.EvalOptions())
+	corr := pipeline.EvaluateWith(res.Correctness, val, true, vo)
+	lat := pipeline.EvaluateWith(res.Latency, val, false, vo)
 	text := verdictTable("Model-Correctness", corr) + "\n" + verdictTable("Model-Latency", lat)
 	return &Outcome{
 		ID:    "table2",
@@ -105,7 +105,7 @@ func Table3(c *Context) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	vo := pipeline.EvalOptions()
+	vo := c.EvalConfig(pipeline.EvalOptions())
 	rows := []struct {
 		name      string
 		m         *policy.Model
@@ -121,7 +121,7 @@ func Table3(c *Context) (*Outcome, error) {
 	fmt.Fprintf(&sb, "%-8s %-18s %7s %7s %7s %7s %10s\n", "Metric", "Model", "Better", "Worse", "Tie", "Total", "MeanΔ")
 	for _, metric := range []pipeline.Metric{pipeline.MetricLatency, pipeline.MetricSize, pipeline.MetricICount} {
 		for _, row := range rows {
-			rep := pipeline.Evaluate(row.m, val, row.augmented, vo)
+			rep := pipeline.EvaluateWith(row.m, val, row.augmented, vo)
 			o := pipeline.OutcomesVsO0(rep, metric)
 			fmt.Fprintf(&sb, "%-8s %-18s %7d %7d %7d %7d %9.2f%%\n",
 				metric, row.name, o.Better, o.Worse, o.Tie, rep.Total(), 100*o.MeanDelta)

@@ -1,0 +1,146 @@
+package grpo
+
+import (
+	"math"
+	"testing"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/dataset"
+	"veriopt/internal/policy"
+	"veriopt/internal/vcache"
+)
+
+// trainSteps runs a fresh trainer with the given worker count and
+// returns it (private verdict cache, so runs are fully independent).
+func trainSteps(t *testing.T, samples []*dataset.Sample, workers, steps int) *Trainer {
+	t.Helper()
+	m := policy.New(policy.CapQwen3B, 7)
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	tr := NewTrainer(m, samples, cfg, 21)
+	tr.Engine = vcache.New(vcache.Config{})
+	tr.CollectFailures = true
+	tr.Train(steps)
+	return tr
+}
+
+// TestStepDeterministicAcrossWorkers is the tentpole's reproducibility
+// contract: the GRPO trajectory must be bit-identical at any worker
+// count, because every episode draws from its own derived rand.Rand
+// and gradient accumulation is sequential in grid order.
+func TestStepDeterministicAcrossWorkers(t *testing.T) {
+	samples := corpus(t, 16)
+	t1 := trainSteps(t, samples, 1, 3)
+	t4 := trainSteps(t, samples, 4, 3)
+
+	if len(t1.RewardHistory) != len(t4.RewardHistory) {
+		t.Fatalf("history lengths differ: %d vs %d", len(t1.RewardHistory), len(t4.RewardHistory))
+	}
+	for i := range t1.RewardHistory {
+		if t1.RewardHistory[i] != t4.RewardHistory[i] {
+			t.Fatalf("step %d reward differs: %v vs %v", i, t1.RewardHistory[i], t4.RewardHistory[i])
+		}
+	}
+	for a := range t1.Model.B {
+		if t1.Model.B[a] != t4.Model.B[a] || t1.Model.S[a] != t4.Model.S[a] || t1.Model.P[a] != t4.Model.P[a] {
+			t.Fatalf("model weights differ at action %d", a)
+		}
+	}
+	if len(t1.Failures) != len(t4.Failures) {
+		t.Fatalf("failure harvest differs: %d vs %d", len(t1.Failures), len(t4.Failures))
+	}
+	for i := range t1.Failures {
+		if t1.Failures[i].AttemptText != t4.Failures[i].AttemptText ||
+			t1.Failures[i].TrueDiag != t4.Failures[i].TrueDiag {
+			t.Fatalf("failure %d differs between worker counts", i)
+		}
+	}
+}
+
+func TestTrainerCacheGetsHits(t *testing.T) {
+	samples := corpus(t, 8)
+	tr := trainSteps(t, samples, 4, 2)
+	s := tr.Engine.Stats()
+	if s.Queries == 0 {
+		t.Fatal("no verification queries recorded")
+	}
+	if s.Hits == 0 {
+		t.Fatalf("expected cache hits across a GRPO group: %+v", s)
+	}
+}
+
+// TestStepEmptyDataNoPanic: Step used to divide by len(tr.Data) before
+// checking it, panicking on an empty corpus.
+func TestStepEmptyDataNoPanic(t *testing.T) {
+	m := policy.New(policy.CapQwen3B, 3)
+	tr := NewTrainer(m, nil, DefaultConfig(), 1)
+	stats := tr.Step()
+	if stats.Episodes != 0 {
+		t.Fatalf("episodes = %d, want 0", stats.Episodes)
+	}
+	if len(tr.RewardHistory) != 1 {
+		t.Fatalf("history length = %d, want 1 (one entry per Step)", len(tr.RewardHistory))
+	}
+}
+
+// TestLatencyRewardZeroParams: a zero-valued LatencyRewardParams (as
+// left by DefaultConfig) used to yield math.Pow(negativeFrac, 0) == 1
+// — an unconditional full reward for any speedup > 1.
+func TestLatencyRewardZeroParams(t *testing.T) {
+	j := &Judgment{FinalVerdict: alive.Result{Verdict: alive.Equivalent}, Speedup: 1.5}
+	r := LatencyReward(j, LatencyRewardParams{})
+	if math.IsNaN(r) {
+		t.Fatal("zero params produced NaN")
+	}
+	if r <= 0 || r >= 1 {
+		t.Fatalf("reward = %v for modest speedup 1.5 under defaults, want in (0, 1)", r)
+	}
+	// With the defaults (UMax=2, Gamma=2): frac = 0.5, reward 0.25.
+	if math.Abs(r-0.25) > 1e-9 {
+		t.Fatalf("reward = %v, want 0.25 under normalized defaults", r)
+	}
+	// Fractional Gamma < 1 also normalizes instead of producing NaN
+	// for the negative frac of a degenerate UMax.
+	r = LatencyReward(j, LatencyRewardParams{UMax: 0, Gamma: 0.5})
+	if math.IsNaN(r) || r <= 0 || r >= 1 {
+		t.Fatalf("reward = %v under degenerate UMax + fractional Gamma", r)
+	}
+	// Valid params are untouched.
+	r = LatencyReward(j, LatencyRewardParams{UMax: 3, Gamma: 2})
+	if math.Abs(r-0.0625) > 1e-9 {
+		t.Fatalf("valid params altered: reward = %v, want 0.0625", r)
+	}
+}
+
+// TestNoBleuShapingCoversBothSegments: the ablation must remove the
+// BLEU term from the attempt segment's reward too, not only from the
+// final answer's (it used to subtract j.Bleu from rAnswer while
+// leaving AttemptReward's j.AttemptBleu intact).
+func TestNoBleuShapingCoversBothSegments(t *testing.T) {
+	samples := corpus(t, 2)
+	s := samples[0]
+	vo := alive.DefaultOptions()
+	ep := &policy.Episode{
+		FinalText:   s.RefText,
+		AttemptText: s.O0Text,
+		FormatOK:    true,
+		Diag:        &policy.DiagRecord{PredictedClass: policy.DiagOK},
+	}
+	j := Judge(ep, s, vo)
+	if j.AttemptBleu <= 0 || j.Bleu <= 0 {
+		t.Fatalf("test setup: expected nonzero BLEU terms, got %v / %v", j.Bleu, j.AttemptBleu)
+	}
+	if got, want := CorrectnessRewardShaped(ep, j, false), CorrectnessReward(ep, j)-j.Bleu; math.Abs(got-want) > 1e-9 {
+		t.Errorf("answer segment: shaped(false) = %v, want %v", got, want)
+	}
+	if got, want := AttemptRewardShaped(ep, j, false), AttemptReward(ep, j)-j.AttemptBleu; math.Abs(got-want) > 1e-9 {
+		t.Errorf("attempt segment: shaped(false) = %v, want %v", got, want)
+	}
+	// With shaping on, the shaped variants match the plain ones.
+	if CorrectnessRewardShaped(ep, j, true) != CorrectnessReward(ep, j) {
+		t.Error("shaped(true) diverges from CorrectnessReward")
+	}
+	if AttemptRewardShaped(ep, j, true) != AttemptReward(ep, j) {
+		t.Error("shaped(true) diverges from AttemptReward")
+	}
+}

@@ -9,6 +9,7 @@ package grpo
 
 import (
 	"math"
+	"sort"
 
 	"veriopt/internal/alive"
 	"veriopt/internal/bleu"
@@ -16,6 +17,7 @@ import (
 	"veriopt/internal/dataset"
 	"veriopt/internal/ir"
 	"veriopt/internal/policy"
+	"veriopt/internal/vcache"
 )
 
 // Judgment is the verifier's view of one episode: the attempt's and
@@ -42,12 +44,27 @@ type Judgment struct {
 }
 
 // Judge verifies an episode against its sample. opts bounds the
-// verifier work per query.
+// verifier work per query. Verification goes through the process-wide
+// verdict cache (vcache.Default); use JudgeWith to supply a private
+// engine.
 func Judge(ep *policy.Episode, s *dataset.Sample, opts alive.Options) *Judgment {
+	return JudgeWith(vcache.Default, ep, s, opts)
+}
+
+// JudgeWith is Judge with an explicit verification engine. A single
+// episode can otherwise pay for the same (source, text) proof twice —
+// the attempt and the final answer frequently coincide across the
+// rollouts of a GRPO group, and greedy evaluation re-proves identical
+// outputs across curriculum stages.
+func JudgeWith(eng *vcache.Engine, ep *policy.Episode, s *dataset.Sample, opts alive.Options) *Judgment {
+	if eng == nil {
+		eng = vcache.Default
+	}
 	j := &Judgment{Copied: ep.Copied}
-	j.FinalVerdict, j.FinalFn = verdictOf(ep.FinalText, s, opts)
+	srcKey := vcache.KeyOfText(s.O0Text)
+	j.FinalVerdict, j.FinalFn = verdictOf(eng, srcKey, ep.FinalText, s, opts)
 	if ep.Diag != nil && ep.AttemptText != ep.FinalText {
-		j.AttemptVerdict, _ = verdictOf(ep.AttemptText, s, opts)
+		j.AttemptVerdict, _ = verdictOf(eng, srcKey, ep.AttemptText, s, opts)
 	} else {
 		j.AttemptVerdict = j.FinalVerdict
 	}
@@ -67,7 +84,7 @@ func Judge(ep *policy.Episode, s *dataset.Sample, opts alive.Options) *Judgment 
 	return j
 }
 
-func verdictOf(text string, s *dataset.Sample, opts alive.Options) (alive.Result, *ir.Function) {
+func verdictOf(eng *vcache.Engine, srcKey, text string, s *dataset.Sample, opts alive.Options) (alive.Result, *ir.Function) {
 	f, err := ir.ParseFunc(text)
 	if err != nil {
 		return alive.Result{Verdict: alive.SyntaxError,
@@ -76,7 +93,7 @@ func verdictOf(text string, s *dataset.Sample, opts alive.Options) (alive.Result
 	if err := ir.VerifyFunc(f); err != nil {
 		return alive.Result{Verdict: alive.SyntaxError, Diag: "ERROR: invalid IR: " + err.Error()}, nil
 	}
-	return alive.VerifyFuncs(s.O0, f, opts), f
+	return eng.VerifyKeyed(srcKey, s.O0, vcache.KeyOfText(text), f, opts), f
 }
 
 // CorrectnessReward is the paper's Eq. 1:
@@ -86,6 +103,13 @@ func verdictOf(text string, s *dataset.Sample, opts alive.Options) (alive.Result
 // with t format compliance, a Alive2 equivalence, m exact match with
 // the reference, b the BLEU similarity.
 func CorrectnessReward(ep *policy.Episode, j *Judgment) float64 {
+	return CorrectnessRewardShaped(ep, j, true)
+}
+
+// CorrectnessRewardShaped is Eq. 1 with the BLEU shaping term b made
+// optional — bleuShaping=false implements the NoBleuShaping ablation
+// (the gradient-starvation mitigation removed) for the final answer.
+func CorrectnessRewardShaped(ep *policy.Episode, j *Judgment, bleuShaping bool) float64 {
 	t := 0.0
 	if ep.FormatOK {
 		t = 1
@@ -98,12 +122,23 @@ func CorrectnessReward(ep *policy.Episode, j *Judgment) float64 {
 	if j.ExactMatch && a == 1 {
 		m = 1
 	}
-	return t*(1+a*(1+m)) + j.Bleu
+	r := t * (1 + a*(1+m))
+	if bleuShaping {
+		r += j.Bleu
+	}
+	return r
 }
 
 // AttemptReward applies Eq. 1 to the think-block attempt: the reward
 // whose group-relative advantage trains the attempt's action tokens.
 func AttemptReward(ep *policy.Episode, j *Judgment) float64 {
+	return AttemptRewardShaped(ep, j, true)
+}
+
+// AttemptRewardShaped is AttemptReward with the BLEU term optional,
+// so the NoBleuShaping ablation removes the shaping signal from the
+// attempt segment too — not just from the answer segment.
+func AttemptRewardShaped(ep *policy.Episode, j *Judgment, bleuShaping bool) float64 {
 	t := 0.0
 	if ep.FormatOK {
 		t = 1
@@ -116,7 +151,11 @@ func AttemptReward(ep *policy.Episode, j *Judgment) float64 {
 	if j.AttemptExact && a == 1 {
 		m = 1
 	}
-	return t*(1+a*(1+m)) + j.AttemptBleu
+	r := t * (1 + a*(1+m))
+	if bleuShaping {
+		r += j.AttemptBleu
+	}
+	return r
 }
 
 // CoTReward is the paper's Eq. 2: full credit when model and verifier
@@ -147,13 +186,39 @@ type LatencyRewardParams struct {
 	Gamma float64
 }
 
+// Eq. 3–4 defaults applied when LatencyRewardParams is left zero (or
+// set to degenerate values): UMax matches ComputeUMax's empty-corpus
+// fallback, Gamma the paper's convex shaping exponent.
+const (
+	defaultUMax  = 2.0
+	defaultGamma = 2.0
+)
+
+// normalize validates the Eq. 3–4 parameters, substituting safe
+// defaults for degenerate values. A zero-valued params struct (as
+// left by DefaultConfig, which never sets Latency) would otherwise
+// make frac negative (UMax-1 <= 0) and math.Pow(frac, 0) == 1 — an
+// unconditional full reward for any speedup > 1, and NaN for
+// fractional Gamma.
+func (p LatencyRewardParams) normalize() LatencyRewardParams {
+	if p.UMax <= 1 {
+		p.UMax = defaultUMax
+	}
+	if p.Gamma < 1 {
+		p.Gamma = defaultGamma
+	}
+	return p
+}
+
 // LatencyReward is the paper's Eq. 4: zero unless the output verified
 // (S=1) and sped up (u>1); then a convex, saturating share of the
-// speedup.
+// speedup. Degenerate params (UMax <= 1 or Gamma < 1) are replaced by
+// defaults — see normalize.
 func LatencyReward(j *Judgment, p LatencyRewardParams) float64 {
 	if j.FinalVerdict.Verdict != alive.Equivalent || j.Speedup <= 1 {
 		return 0
 	}
+	p = p.normalize()
 	frac := (j.Speedup - 1) / (p.UMax - 1)
 	if frac > 1 {
 		frac = 1
@@ -170,14 +235,9 @@ func ComputeUMax(samples []*dataset.Sample, percentile float64) float64 {
 		ups = append(ups, u)
 	}
 	if len(ups) == 0 {
-		return 2
+		return defaultUMax
 	}
-	// Insertion sort is fine at corpus scale.
-	for i := 1; i < len(ups); i++ {
-		for k := i; k > 0 && ups[k] < ups[k-1]; k-- {
-			ups[k], ups[k-1] = ups[k-1], ups[k]
-		}
-	}
+	sort.Float64s(ups)
 	idx := int(percentile / 100 * float64(len(ups)-1))
 	u := ups[idx]
 	if u <= 1.01 {

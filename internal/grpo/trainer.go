@@ -7,6 +7,7 @@ import (
 	"veriopt/internal/alive"
 	"veriopt/internal/dataset"
 	"veriopt/internal/policy"
+	"veriopt/internal/vcache"
 )
 
 // RewardMode selects the training objective.
@@ -54,8 +55,16 @@ type Config struct {
 	// rewards (REINFORCE) — kept for the ablation study.
 	NoGroupBaseline bool
 	// NoBleuShaping zeroes the BLEU term b_i of Eq. 1 — ablation of
-	// the gradient-starvation mitigation.
+	// the gradient-starvation mitigation. It removes the shaping term
+	// from both reward segments (answer and attempt).
 	NoBleuShaping bool
+	// Workers bounds the concurrency of the per-step rollout +
+	// verification fan-out (<= 0 selects runtime.NumCPU()). Results
+	// are bit-identical at any worker count: every episode draws from
+	// its own rand.Rand derived from the trainer seed and grid
+	// position, and gradient accumulation stays sequential in grid
+	// order.
+	Workers int
 }
 
 // DefaultConfig returns the settings used by the reproduction's
@@ -99,7 +108,10 @@ type Trainer struct {
 	Model *policy.Model
 	Cfg   Config
 	Data  []*dataset.Sample
-	Rng   *rand.Rand
+
+	// Engine memoizes verification verdicts across episodes and steps.
+	// nil selects the process-wide vcache.Default.
+	Engine *vcache.Engine
 
 	// Failures accumulates Model Zero mistakes when CollectFailures is
 	// set.
@@ -109,12 +121,15 @@ type Trainer struct {
 	// RewardHistory records the mean raw reward per step (Fig. 4).
 	RewardHistory []float64
 
+	seed   int64
 	cursor int
 }
 
-// NewTrainer wires a trainer.
+// NewTrainer wires a trainer. Rollout sampling is driven by
+// per-episode RNGs derived from seed, so a trainer's trajectory
+// depends only on (model, data, cfg, seed) — never on Cfg.Workers.
 func NewTrainer(m *policy.Model, data []*dataset.Sample, cfg Config, seed int64) *Trainer {
-	return &Trainer{Model: m, Cfg: cfg, Data: data, Rng: rand.New(rand.NewSource(seed))}
+	return &Trainer{Model: m, Cfg: cfg, Data: data, seed: seed}
 }
 
 // episodeScore pairs an episode with its judgment and reward. The
@@ -157,14 +172,71 @@ func newGrads(m *policy.Model) *grads {
 }
 
 // Step performs one GRPO update: sample a batch of inputs, roll out G
-// completions each, verify, compute group-relative advantages, and
-// apply a single clipped gradient-ascent update.
+// completions each in parallel across Cfg.Workers goroutines, verify
+// through the verdict cache, compute group-relative advantages, and
+// apply a single clipped gradient-ascent update. The update is
+// bit-identical at any worker count.
 func (tr *Trainer) Step() StepStats {
 	m := tr.Model
 	cfg := tr.Cfg
 	g := newGrads(m)
 
 	var stats StepStats
+	if len(tr.Data) == 0 || cfg.BatchInputs <= 0 || cfg.GroupSize <= 0 {
+		// An empty corpus (or degenerate batch shape) used to panic
+		// with a divide-by-zero at the cursor modulus. Record an empty
+		// step so RewardHistory keeps one entry per Step.
+		tr.RewardHistory = append(tr.RewardHistory, 0)
+		return stats
+	}
+	eng := tr.Engine
+	if eng == nil {
+		eng = vcache.Default
+	}
+
+	// Assign this step's inputs up front; the cursor advances by the
+	// batch regardless of worker scheduling.
+	base := tr.cursor
+	tr.cursor += cfg.BatchInputs
+	sampleAt := make([]*dataset.Sample, cfg.BatchInputs)
+	for bi := range sampleAt {
+		sampleAt[bi] = tr.Data[(base+bi)%len(tr.Data)]
+	}
+
+	// Roll out and verify the BatchInputs × GroupSize grid in
+	// parallel. Every episode draws from its own rand.Rand derived
+	// from the trainer seed and grid position, and writes only to its
+	// own grid slot, so the result is independent of worker count and
+	// interleaving.
+	grid := make([]episodeScore, cfg.BatchInputs*cfg.GroupSize)
+	vcache.ParallelFor(cfg.Workers, len(grid), func(i int) {
+		bi, gi := i/cfg.GroupSize, i%cfg.GroupSize
+		s := sampleAt[bi]
+		rng := rand.New(rand.NewSource(episodeSeed(tr.seed, base+bi, gi)))
+		ep := m.Generate(s.O0, policy.GenOptions{
+			Temperature: cfg.Temperature,
+			Rng:         rng,
+			Augmented:   cfg.Augmented,
+		})
+		j := JudgeWith(eng, ep, s, cfg.Verify)
+		es := episodeScore{ep: ep, j: j}
+		switch cfg.Mode {
+		case ModeCorrectness, ModeCorrectnessCoT:
+			es.rAnswer = CorrectnessRewardShaped(ep, j, !cfg.NoBleuShaping)
+			if cfg.Mode == ModeCorrectnessCoT {
+				es.rThink = CoTReward(ep, j)
+				es.rAttempt = AttemptRewardShaped(ep, j, !cfg.NoBleuShaping)
+			}
+		case ModeLatency:
+			es.rAnswer = LatencyReward(j, cfg.Latency)
+		}
+		es.r = es.rAnswer + es.rThink
+		grid[i] = es
+	})
+
+	// Everything below is sequential and walks the grid in its
+	// deterministic (batch, group) order: failure harvesting,
+	// advantage computation, and gradient accumulation.
 	totalTokens := 0
 
 	// Collect all (episode, advantage) pairs first so token-level
@@ -173,41 +245,19 @@ func (tr *Trainer) Step() StepStats {
 	var advs []advPair
 
 	for bi := 0; bi < cfg.BatchInputs; bi++ {
-		s := tr.Data[tr.cursor%len(tr.Data)]
-		tr.cursor++
-		group := make([]episodeScore, cfg.GroupSize)
-		for gi := 0; gi < cfg.GroupSize; gi++ {
-			ep := m.Generate(s.O0, policy.GenOptions{
-				Temperature: cfg.Temperature,
-				Rng:         tr.Rng,
-				Augmented:   cfg.Augmented,
-			})
-			j := Judge(ep, s, cfg.Verify)
-			es := episodeScore{ep: ep, j: j}
-			switch cfg.Mode {
-			case ModeCorrectness, ModeCorrectnessCoT:
-				es.rAnswer = CorrectnessReward(ep, j)
-				if cfg.NoBleuShaping {
-					es.rAnswer -= j.Bleu
+		s := sampleAt[bi]
+		group := grid[bi*cfg.GroupSize : (bi+1)*cfg.GroupSize]
+		if tr.CollectFailures {
+			for _, es := range group {
+				if es.j.AttemptVerdict.Verdict != alive.Equivalent {
+					tr.Failures = append(tr.Failures, &FailureSample{
+						Sample:      s,
+						AttemptText: es.ep.AttemptText,
+						TrueDiag:    es.j.AttemptVerdict.Diag,
+						TrueClass:   classOf(es.j.AttemptVerdict.Verdict),
+						UsedRules:   usedRules(m, es.ep),
+					})
 				}
-				if cfg.Mode == ModeCorrectnessCoT {
-					es.rThink = CoTReward(ep, j)
-					es.rAttempt = AttemptReward(ep, j)
-				}
-			case ModeLatency:
-				es.rAnswer = LatencyReward(j, cfg.Latency)
-			}
-			es.r = es.rAnswer + es.rThink
-			group[gi] = es
-
-			if tr.CollectFailures && j.AttemptVerdict.Verdict != alive.Equivalent {
-				tr.Failures = append(tr.Failures, &FailureSample{
-					Sample:      s,
-					AttemptText: ep.AttemptText,
-					TrueDiag:    j.AttemptVerdict.Diag,
-					TrueClass:   classOf(j.AttemptVerdict.Verdict),
-					UsedRules:   usedRules(m, ep),
-				})
 			}
 		}
 		// Group-relative advantages, one per reward component.
@@ -351,6 +401,20 @@ func (tr *Trainer) apply(g *grads) float64 {
 	}
 	m.Clamp()
 	return norm
+}
+
+// episodeSeed mixes the trainer seed with the episode's corpus cursor
+// and group index (splitmix64-style finalizer) so per-episode RNG
+// streams are decorrelated from each other and independent of worker
+// scheduling.
+func episodeSeed(seed int64, cursor, gi int) int64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(cursor)*0xbf58476d1ce4e5b9 + uint64(gi+1)*0x94d049bb133111eb
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 func meanStdOf(group []episodeScore, f func(episodeScore) float64) (float64, float64) {

@@ -1,0 +1,92 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"veriopt/internal/costmodel"
+	"veriopt/internal/vcache"
+)
+
+// TestEvaluateIdenticalAcrossWorkers: greedy evaluation must produce
+// a byte-identical report at any worker count (tentpole acceptance
+// criterion). Private engines keep the runs cache-independent too.
+func TestEvaluateIdenticalAcrossWorkers(t *testing.T) {
+	res, val := smallRun(t)
+	vo := EvalOptions()
+	r1 := EvaluateWith(res.Latency, val, false, EvalConfig{Verify: vo, Workers: 1, Engine: vcache.New(vcache.Config{})})
+	r4 := EvaluateWith(res.Latency, val, false, EvalConfig{Verify: vo, Workers: 4, Engine: vcache.New(vcache.Config{})})
+
+	if r1.Correct != r4.Correct || r1.Copies != r4.Copies || r1.Semantic != r4.Semantic ||
+		r1.Syntax != r4.Syntax || r1.Inconclusive != r4.Inconclusive {
+		t.Fatalf("tallies differ: %+v vs %+v", *r1, *r4)
+	}
+	for i := range r1.Results {
+		a, b := r1.Results[i], r4.Results[i]
+		if a.Verdict != b.Verdict || a.Diag != b.Diag || a.Copied != b.Copied ||
+			a.UsedFallback != b.UsedFallback || a.Out != b.Out || a.Base != b.Base || a.Ref != b.Ref {
+			t.Fatalf("sample %d differs between worker counts:\n%+v\nvs\n%+v", i, a, b)
+		}
+	}
+}
+
+// TestEvaluateCacheSharing: the second evaluation of the same model
+// over the same samples must be answered from the verdict cache.
+func TestEvaluateCacheSharing(t *testing.T) {
+	res, val := smallRun(t)
+	eng := vcache.New(vcache.Config{})
+	cfg := EvalConfig{Verify: EvalOptions(), Workers: 4, Engine: eng}
+	EvaluateWith(res.Latency, val, false, cfg)
+	miss := eng.Stats().Misses
+	EvaluateWith(res.Latency, val, false, cfg)
+	s := eng.Stats()
+	if s.Misses != miss {
+		t.Fatalf("re-evaluation ran the solver again: %+v", s)
+	}
+	if s.Hits == 0 {
+		t.Fatalf("no cache hits recorded: %+v", s)
+	}
+}
+
+// TestMeanDeltaSkipsZeroBaseline: MeanDelta used to sum only over
+// positive-baseline samples but divide by len(Results), dragging the
+// mean toward zero whenever a sample had a zero baseline metric.
+func TestMeanDeltaSkipsZeroBaseline(t *testing.T) {
+	rep := &Report{Results: []*SampleResult{
+		{
+			Base: costmodel.Metrics{Latency: 100, Size: 10, ICount: 10},
+			Ref:  costmodel.Metrics{Latency: 100, Size: 10, ICount: 10},
+			Out:  costmodel.Metrics{Latency: 50, Size: 10, ICount: 10},
+		},
+		{
+			// A zero-latency sample: no relative change is defined, so
+			// it must not participate in the mean.
+			Base: costmodel.Metrics{Latency: 0, Size: 10, ICount: 10},
+			Ref:  costmodel.Metrics{Latency: 0, Size: 10, ICount: 10},
+			Out:  costmodel.Metrics{Latency: 0, Size: 10, ICount: 10},
+		},
+	}}
+	if got := OutcomesVsO0(rep, MetricLatency).MeanDelta; math.Abs(got-(-0.5)) > 1e-12 {
+		t.Errorf("OutcomesVsO0 MeanDelta = %v, want -0.5", got)
+	}
+	if got := VsInstCombine(rep, MetricLatency).MeanDelta; math.Abs(got-(-0.5)) > 1e-12 {
+		t.Errorf("VsInstCombine MeanDelta = %v, want -0.5", got)
+	}
+	// All-zero baselines: mean must stay zero, not NaN.
+	zero := &Report{Results: []*SampleResult{{}}}
+	if got := OutcomesVsO0(zero, MetricLatency).MeanDelta; got != 0 || math.IsNaN(got) {
+		t.Errorf("all-zero baseline MeanDelta = %v, want 0", got)
+	}
+}
+
+// TestEvaluateEmptySamples guards the degenerate evaluation.
+func TestEvaluateEmptySamples(t *testing.T) {
+	res, _ := smallRun(t)
+	rep := EvaluateWith(res.Base, nil, false, EvalConfig{Verify: EvalOptions(), Workers: 4})
+	if rep.Total() != 0 || rep.Correct != 0 {
+		t.Fatalf("empty evaluation produced counts: %+v", *rep)
+	}
+	if o := OutcomesVsO0(&Report{}, MetricLatency); o.MeanDelta != 0 {
+		t.Fatalf("empty report MeanDelta = %v", o.MeanDelta)
+	}
+}

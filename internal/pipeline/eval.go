@@ -12,6 +12,7 @@ import (
 	"veriopt/internal/grpo"
 	"veriopt/internal/ir"
 	"veriopt/internal/policy"
+	"veriopt/internal/vcache"
 )
 
 // SampleResult is one evaluated function.
@@ -63,13 +64,44 @@ func (r *Report) CorrectFrac() float64 {
 	return float64(r.Correct) / float64(r.Total())
 }
 
+// EvalConfig parameterizes an evaluation run.
+type EvalConfig struct {
+	// Verify bounds each verification query.
+	Verify alive.Options
+	// Workers bounds the per-sample fan-out (<= 0 selects
+	// runtime.NumCPU()). Greedy generation is deterministic per
+	// sample, so the report is byte-identical at any worker count.
+	Workers int
+	// Engine memoizes verdicts; nil selects the process-wide
+	// vcache.Default.
+	Engine *vcache.Engine
+}
+
 // Evaluate runs the model greedily (deterministic, §IV-B) over the
 // samples, verifying each output and applying the fallback rule.
+// Samples are evaluated in parallel across runtime.NumCPU() workers;
+// use EvaluateWith to control the worker count or supply a private
+// verdict cache.
 func Evaluate(m *policy.Model, samples []*dataset.Sample, augmented bool, vo alive.Options) *Report {
-	rep := &Report{}
-	for _, s := range samples {
+	return EvaluateWith(m, samples, augmented, EvalConfig{Verify: vo})
+}
+
+// EvaluateWith is Evaluate with explicit concurrency and caching
+// knobs. Each sample is independent (greedy generation reads only
+// immutable model state), so the fan-out is embarrassingly parallel;
+// results land in per-sample slots and the verdict tallies are summed
+// sequentially afterwards, keeping the report identical at any worker
+// count.
+func EvaluateWith(m *policy.Model, samples []*dataset.Sample, augmented bool, cfg EvalConfig) *Report {
+	eng := cfg.Engine
+	if eng == nil {
+		eng = vcache.Default
+	}
+	rep := &Report{Results: make([]*SampleResult, len(samples))}
+	vcache.ParallelFor(cfg.Workers, len(samples), func(i int) {
+		s := samples[i]
 		ep := m.Generate(s.O0, policy.GenOptions{Augmented: augmented})
-		j := grpo.Judge(ep, s, vo)
+		j := grpo.JudgeWith(eng, ep, s, cfg.Verify)
 		res := &SampleResult{
 			Sample:  s,
 			Verdict: j.FinalVerdict.Verdict,
@@ -78,14 +110,23 @@ func Evaluate(m *policy.Model, samples []*dataset.Sample, augmented bool, vo ali
 			Base:    costmodel.Measure(s.O0),
 			Ref:     costmodel.Measure(s.Ref),
 		}
+		if res.Verdict == alive.Equivalent {
+			res.FinalFn = j.FinalFn
+			res.Out = costmodel.Measure(j.FinalFn)
+		}
+		if res.FinalFn == nil {
+			res.Out = res.Base
+			res.UsedFallback = true
+		}
+		rep.Results[i] = res
+	})
+	for _, res := range rep.Results {
 		switch res.Verdict {
 		case alive.Equivalent:
 			rep.Correct++
 			if res.Copied {
 				rep.Copies++
 			}
-			res.FinalFn = j.FinalFn
-			res.Out = costmodel.Measure(j.FinalFn)
 		case alive.SemanticError:
 			rep.Semantic++
 		case alive.SyntaxError:
@@ -93,11 +134,6 @@ func Evaluate(m *policy.Model, samples []*dataset.Sample, augmented bool, vo ali
 		case alive.Inconclusive:
 			rep.Inconclusive++
 		}
-		if res.FinalFn == nil {
-			res.Out = res.Base
-			res.UsedFallback = true
-		}
-		rep.Results = append(rep.Results, res)
 	}
 	return rep
 }
@@ -132,7 +168,9 @@ func metricOf(ms costmodel.Metrics, m Metric) int {
 type Outcomes struct {
 	Better, Worse, Tie int
 	// MeanDelta is the mean relative change vs the baseline
-	// (negative = improvement), as in Table III's last column.
+	// (negative = improvement), as in Table III's last column. It
+	// averages over the samples with a positive baseline metric (the
+	// only ones where a relative change is defined).
 	MeanDelta float64
 }
 
@@ -140,7 +178,7 @@ type Outcomes struct {
 // (with fallback) against the -O0 baseline.
 func OutcomesVsO0(rep *Report, m Metric) Outcomes {
 	var o Outcomes
-	sum := 0.0
+	sum, n := 0.0, 0
 	for _, r := range rep.Results {
 		base := metricOf(r.Base, m)
 		out := metricOf(r.Out, m)
@@ -154,9 +192,12 @@ func OutcomesVsO0(rep *Report, m Metric) Outcomes {
 		}
 		if base > 0 {
 			sum += float64(out-base) / float64(base)
+			n++
 		}
 	}
-	if n := len(rep.Results); n > 0 {
+	// Divide by the number of summed terms, not len(Results): a
+	// skipped zero-baseline sample must not drag the mean toward zero.
+	if n > 0 {
 		o.MeanDelta = sum / float64(n)
 	}
 	return o
@@ -211,7 +252,7 @@ func RefGeomeanSpeedup(rep *Report) float64 {
 // instcombine reference per function — Fig. 6(c).
 func VsInstCombine(rep *Report, m Metric) Outcomes {
 	var o Outcomes
-	sum := 0.0
+	sum, n := 0.0, 0
 	for _, r := range rep.Results {
 		ref := metricOf(r.Ref, m)
 		out := metricOf(r.Out, m)
@@ -225,9 +266,12 @@ func VsInstCombine(rep *Report, m Metric) Outcomes {
 		}
 		if ref > 0 {
 			sum += float64(out-ref) / float64(ref)
+			n++
 		}
 	}
-	if n := len(rep.Results); n > 0 {
+	// Same divisor rule as OutcomesVsO0: average over the summed
+	// terms only.
+	if n > 0 {
 		o.MeanDelta = sum / float64(n)
 	}
 	return o

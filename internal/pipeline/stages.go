@@ -6,6 +6,7 @@ import (
 	"veriopt/internal/grpo"
 	"veriopt/internal/policy"
 	"veriopt/internal/sft"
+	"veriopt/internal/vcache"
 )
 
 // StageConfig sizes the curriculum. The defaults are scaled for
@@ -27,6 +28,14 @@ type StageConfig struct {
 	UMaxPercentile float64
 	// Gamma is the convex shaping exponent of Eq. 4.
 	Gamma float64
+
+	// Workers bounds the rollout/verification fan-out of every GRPO
+	// step and checkpoint evaluation (<= 0 selects runtime.NumCPU()).
+	// The curriculum result is bit-identical at any worker count.
+	Workers int
+	// Engine memoizes verification verdicts across all stages; nil
+	// selects the process-wide vcache.Default.
+	Engine *vcache.Engine
 }
 
 // DefaultStageConfig returns the reduced-scale defaults.
@@ -68,22 +77,22 @@ type Result struct {
 // headline different-correct fraction, with geomean speedup (which
 // already embeds the fallback-to-O0 correctness penalty) breaking
 // ties.
-func devEval(m *policy.Model, dev []*dataset.Sample, augmented bool) float64 {
-	vo := alive.Options{MaxPaths: 256, MaxSteps: 2048, SolverBudget: 30000}
-	rep := Evaluate(m, dev, augmented, vo)
+func devEval(m *policy.Model, dev []*dataset.Sample, augmented bool, ec EvalConfig) float64 {
+	ec.Verify = alive.Options{MaxPaths: 256, MaxSteps: 2048, SolverBudget: 30000}
+	rep := EvaluateWith(m, dev, augmented, ec)
 	return 2*rep.DifferentCorrectFrac() + GeomeanSpeedup(rep)/100
 }
 
 // trainWithCheckpoints runs GRPO, evaluating on the dev split every
 // evalEvery steps and returning the best checkpoint (the paper's
 // "selecting the best checkpoint for evaluation").
-func trainWithCheckpoints(tr *grpo.Trainer, steps, evalEvery int, dev []*dataset.Sample, augmented bool) *policy.Model {
+func trainWithCheckpoints(tr *grpo.Trainer, steps, evalEvery int, dev []*dataset.Sample, augmented bool, ec EvalConfig) *policy.Model {
 	best := tr.Model.Clone()
-	bestScore := devEval(best, dev, augmented)
+	bestScore := devEval(best, dev, augmented, ec)
 	for i := 0; i < steps; i++ {
 		tr.Step()
 		if (i+1)%evalEvery == 0 || i == steps-1 {
-			if score := devEval(tr.Model, dev, augmented); score > bestScore {
+			if score := devEval(tr.Model, dev, augmented, ec); score > bestScore {
 				bestScore = score
 				best = tr.Model.Clone()
 			}
@@ -96,6 +105,8 @@ func trainWithCheckpoints(tr *grpo.Trainer, steps, evalEvery int, dev []*dataset
 func Run(train []*dataset.Sample, cfg StageConfig) *Result {
 	res := &Result{}
 	res.Base = policy.New(cfg.Capacity, cfg.Seed)
+	cfg.GRPO.Workers = cfg.Workers
+	ec := EvalConfig{Workers: cfg.Workers, Engine: cfg.Engine}
 	// Hold out a slice of the training set for checkpoint selection
 	// (never the validation set).
 	devN := len(train) / 5
@@ -112,6 +123,7 @@ func Run(train []*dataset.Sample, cfg StageConfig) *Result {
 	c1.Mode = grpo.ModeCorrectness
 	c1.Augmented = false
 	t1 := grpo.NewTrainer(zero, train, c1, cfg.Seed+101)
+	t1.Engine = cfg.Engine
 	t1.CollectFailures = true
 	t1.Train(cfg.Stage1Steps)
 	res.ModelZero = zero
@@ -140,7 +152,8 @@ func Run(train []*dataset.Sample, cfg StageConfig) *Result {
 	c2.GroupSize = cfg.GRPO.GroupSize + 2
 	c2.ClipNorm = cfg.GRPO.ClipNorm / 2
 	t2 := grpo.NewTrainer(corr, train, c2, cfg.Seed+202)
-	res.Correctness = trainWithCheckpoints(t2, cfg.Stage2Steps, 10, dev, true)
+	t2.Engine = cfg.Engine
+	res.Correctness = trainWithCheckpoints(t2, cfg.Stage2Steps, 10, dev, true, ec)
 	res.CorrectnessHistory = t2.RewardHistory
 
 	// Stage 3: Model-Latency — incremental GRPO with the latency
@@ -152,7 +165,8 @@ func Run(train []*dataset.Sample, cfg StageConfig) *Result {
 	c3.Augmented = false
 	c3.Latency = grpo.LatencyRewardParams{UMax: res.UMax, Gamma: cfg.Gamma}
 	t3 := grpo.NewTrainer(lat, train, c3, cfg.Seed+303)
-	res.Latency = trainWithCheckpoints(t3, cfg.Stage3Steps, 10, dev, false)
+	t3.Engine = cfg.Engine
+	res.Latency = trainWithCheckpoints(t3, cfg.Stage3Steps, 10, dev, false, ec)
 	res.LatencyHistory = t3.RewardHistory
 
 	return res

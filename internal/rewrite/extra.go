@@ -381,9 +381,13 @@ func findPromotable(f *ir.Function) *ir.Instr {
 		escape bool
 	}
 	infos := map[*ir.Instr]*info{}
+	// order fixes the candidate scan order (map iteration would make
+	// the promoted alloca vary run to run).
+	var order []*ir.Instr
 	get := func(a *ir.Instr) *info {
 		if infos[a] == nil {
 			infos[a] = &info{}
+			order = append(order, a)
 		}
 		return infos[a]
 	}
@@ -414,7 +418,8 @@ func findPromotable(f *ir.Function) *ir.Instr {
 	pos := map[*ir.Instr]int{}
 	i := 0
 	f.ForEachInstr(func(_ *ir.Block, in *ir.Instr) { pos[in] = i; i++ })
-	for a, inf := range infos {
+	for _, a := range order {
+		inf := infos[a]
 		if inf.escape || len(inf.stores) != 1 || len(inf.loads) == 0 {
 			continue
 		}

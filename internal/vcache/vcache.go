@@ -1,0 +1,264 @@
+// Package vcache provides the concurrent verification engine: a
+// thread-safe, memoized verdict store over the Alive-style checker
+// (internal/alive) plus the worker-pool fan-out used by the two hot
+// loops (pipeline.Evaluate and the GRPO group rollouts).
+//
+// Verification is a pure function of (source, target, Options), so
+// verdicts are cached under the key
+//
+//	(ir.FingerprintText(src), ir.FingerprintText(dst), Options)
+//
+// which identifies functions up to whitespace. Identical queries in
+// flight are deduplicated (singleflight): the second caller blocks on
+// the first's result instead of re-running the solver. The cache is
+// bounded; eviction is FIFO, which is close enough to LRU for the
+// training access pattern (groups of near-identical rollouts arrive
+// together, curriculum stages re-prove recent outputs).
+package vcache
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/ir"
+)
+
+// Key identifies one verification query. Options is comparable by
+// design (see internal/alive); the whole Key is usable as a map key.
+type Key struct {
+	// Src and Dst are whitespace-normalized function texts
+	// (ir.FingerprintText of the canonical printed form).
+	Src, Dst string
+	// Opts are the verification limits the verdict was produced under.
+	Opts alive.Options
+}
+
+// Config sizes an Engine.
+type Config struct {
+	// MaxEntries bounds the number of cached verdicts (<= 0 selects
+	// the default, 1<<17).
+	MaxEntries int
+}
+
+// DefaultMaxEntries is the cache bound used when Config.MaxEntries is
+// unset. At ~200 bytes per verdict this is tens of MB at worst.
+const DefaultMaxEntries = 1 << 17
+
+// Stats is a point-in-time snapshot of an engine's counters.
+type Stats struct {
+	// Queries counts all verification requests.
+	Queries uint64
+	// Hits counts requests answered from the cache, including those
+	// deduplicated against an identical in-flight query.
+	Hits uint64
+	// Misses counts requests that ran the verifier.
+	Misses uint64
+	// Evictions counts cache entries dropped to respect MaxEntries.
+	Evictions uint64
+	// BudgetExhausted counts verifier runs that hit the SAT conflict
+	// budget (Inconclusive verdicts from solver exhaustion).
+	BudgetExhausted uint64
+	// Entries is the current cache population.
+	Entries int
+	// WallTime is the cumulative time spent inside live (non-cached)
+	// verifier runs, summed across workers — with N workers it can
+	// exceed elapsed time by up to a factor of N.
+	WallTime time.Duration
+}
+
+// String renders the snapshot for logs and EXPERIMENTS.md.
+func (s Stats) String() string {
+	hitRate := 0.0
+	if s.Queries > 0 {
+		hitRate = float64(s.Hits) / float64(s.Queries)
+	}
+	return fmt.Sprintf("vcache: %d queries, %d hits (%.1f%%), %d misses, %d evictions, %d budget-exhausted, %d entries, %v solver wall time",
+		s.Queries, s.Hits, 100*hitRate, s.Misses, s.Evictions, s.BudgetExhausted, s.Entries, s.WallTime.Round(time.Millisecond))
+}
+
+// call is one in-flight verification, shared by duplicate queriers.
+type call struct {
+	done chan struct{}
+	res  alive.Result
+}
+
+// Engine is the memoized verdict store. The zero value is not usable;
+// construct with New. All methods are safe for concurrent use.
+type Engine struct {
+	maxEntries int
+
+	mu       sync.Mutex
+	entries  map[Key]alive.Result
+	fifo     []Key // insertion order, for eviction
+	inflight map[Key]*call
+
+	queries         atomic.Uint64
+	hits            atomic.Uint64
+	misses          atomic.Uint64
+	evictions       atomic.Uint64
+	budgetExhausted atomic.Uint64
+	wallNanos       atomic.Int64
+}
+
+// New builds an engine.
+func New(cfg Config) *Engine {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = DefaultMaxEntries
+	}
+	return &Engine{
+		maxEntries: cfg.MaxEntries,
+		entries:    make(map[Key]alive.Result),
+		inflight:   make(map[Key]*call),
+	}
+}
+
+// Default is the process-wide engine used when callers do not supply
+// their own. Verdicts are pure, so sharing one cache across trainer
+// stages, evaluation runs, and CLIs is always sound and maximizes
+// reuse (greedy evaluation re-proves the same outputs across
+// curriculum stages).
+var Default = New(Config{})
+
+// KeyOfText normalizes a function text into cache-key form.
+func KeyOfText(text string) string { return ir.FingerprintText(text) }
+
+// KeyOfFunc renders and normalizes a function into cache-key form.
+func KeyOfFunc(f *ir.Function) string { return ir.FingerprintText(ir.CanonicalText(f)) }
+
+// VerifyFuncs is the cached equivalent of alive.VerifyFuncs.
+func (e *Engine) VerifyFuncs(src, tgt *ir.Function, opts alive.Options) alive.Result {
+	return e.VerifyKeyed(KeyOfFunc(src), src, KeyOfFunc(tgt), tgt, opts)
+}
+
+// VerifyKeyed verifies tgt against src, reusing a cached verdict when
+// the keyed pair was proven before. srcKey/tgtKey must be the
+// KeyOfText/KeyOfFunc normalization of src and tgt; passing
+// precomputed keys lets hot loops skip re-rendering the source per
+// query.
+func (e *Engine) VerifyKeyed(srcKey string, src *ir.Function, tgtKey string, tgt *ir.Function, opts alive.Options) alive.Result {
+	k := Key{Src: srcKey, Dst: tgtKey, Opts: opts}
+	e.queries.Add(1)
+
+	e.mu.Lock()
+	if res, ok := e.entries[k]; ok {
+		e.mu.Unlock()
+		e.hits.Add(1)
+		return res
+	}
+	if c, ok := e.inflight[k]; ok {
+		e.mu.Unlock()
+		e.hits.Add(1)
+		<-c.done
+		return c.res
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[k] = c
+	e.mu.Unlock()
+	e.misses.Add(1)
+
+	t0 := time.Now()
+	c.res = alive.VerifyFuncs(src, tgt, opts)
+	e.wallNanos.Add(int64(time.Since(t0)))
+	if c.res.Verdict == alive.Inconclusive && strings.Contains(c.res.Diag, "solver budget exhausted") {
+		e.budgetExhausted.Add(1)
+	}
+
+	e.mu.Lock()
+	e.store(k, c.res)
+	delete(e.inflight, k)
+	e.mu.Unlock()
+	close(c.done)
+	return c.res
+}
+
+// store inserts under e.mu, evicting the oldest entries as needed.
+func (e *Engine) store(k Key, res alive.Result) {
+	if _, ok := e.entries[k]; !ok {
+		for len(e.entries) >= e.maxEntries && len(e.fifo) > 0 {
+			old := e.fifo[0]
+			e.fifo = e.fifo[1:]
+			if _, ok := e.entries[old]; ok {
+				delete(e.entries, old)
+				e.evictions.Add(1)
+			}
+		}
+		e.fifo = append(e.fifo, k)
+	}
+	e.entries[k] = res
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	n := len(e.entries)
+	e.mu.Unlock()
+	return Stats{
+		Queries:         e.queries.Load(),
+		Hits:            e.hits.Load(),
+		Misses:          e.misses.Load(),
+		Evictions:       e.evictions.Load(),
+		BudgetExhausted: e.budgetExhausted.Load(),
+		Entries:         n,
+		WallTime:        time.Duration(e.wallNanos.Load()),
+	}
+}
+
+// Reset drops all cached verdicts and zeroes the counters (used by
+// benchmarks that measure cold-cache throughput).
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	e.entries = make(map[Key]alive.Result)
+	e.fifo = nil
+	e.mu.Unlock()
+	e.queries.Store(0)
+	e.hits.Store(0)
+	e.misses.Store(0)
+	e.evictions.Store(0)
+	e.budgetExhausted.Store(0)
+	e.wallNanos.Store(0)
+}
+
+// ParallelFor runs fn(0..n-1) across the given number of workers,
+// returning when all calls complete. workers <= 0 selects
+// runtime.NumCPU(); workers == 1 (or n <= 1) runs inline with no
+// goroutines. fn must be safe to call concurrently; writes should go
+// to index-disjoint slots so results are identical at any worker
+// count.
+func ParallelFor(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
