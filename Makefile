@@ -1,13 +1,14 @@
 # Verification tiers for veriopt.
 #
 # tier1 is the repo's baseline gate: everything builds, all tests
-# pass. tier2 adds static analysis and the race detector over the
-# concurrent verification engine and worker pools (vcache, parallel
-# Evaluate, parallel GRPO steps).
+# pass. tier2 adds the lint tier (static analysis + formatting) and
+# the race detector over the concurrent verification engine and
+# worker pools (par.For, oracle stack, parallel Evaluate, parallel
+# GRPO steps).
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench bench-workers
+.PHONY: all tier1 tier2 lint bench bench-workers
 
 all: tier1 tier2
 
@@ -15,9 +16,18 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2:
-	$(GO) vet ./...
+tier2: lint
 	$(GO) test -race ./...
+
+# lint fails on any vet diagnostic or unformatted file.
+lint:
+	$(GO) vet ./...
+	@fmtout=$$(gofmt -l .); \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$fmtout"; \
+		exit 1; \
+	fi
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -14,9 +14,9 @@ import (
 	"veriopt/internal/experiments"
 	"veriopt/internal/grpo"
 	"veriopt/internal/instcombine"
+	"veriopt/internal/oracle"
 	"veriopt/internal/pipeline"
 	"veriopt/internal/policy"
-	"veriopt/internal/vcache"
 )
 
 var (
@@ -158,12 +158,12 @@ func benchEvalWorkers(b *testing.B, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng := vcache.New(vcache.Config{})
-	cfg := pipeline.EvalConfig{Verify: pipeline.EvalOptions(), Workers: workers, Engine: eng}
+	st := oracle.NewStack(oracle.Config{})
+	cfg := pipeline.EvalConfig{Verify: pipeline.EvalOptions(), Workers: workers, Oracle: st}
 	models := []*policy.Model{res.Base, res.Correctness, res.Latency}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng.Reset()
+		st.Engine.Reset()
 		for _, m := range models {
 			rep := pipeline.EvaluateWith(m, val, false, cfg)
 			if rep.Total() != len(val) {
@@ -172,7 +172,7 @@ func benchEvalWorkers(b *testing.B, workers int) {
 		}
 	}
 	b.StopTimer()
-	s := eng.Stats()
+	s := st.Engine.Stats()
 	if s.Hits == 0 {
 		b.Fatal("verdict cache recorded no hits")
 	}
@@ -199,7 +199,7 @@ func benchTrainerStep(b *testing.B, workers int) {
 	cfg := grpo.DefaultConfig()
 	cfg.Workers = workers
 	tr := grpo.NewTrainer(m, samples, cfg, 17)
-	tr.Engine = vcache.New(vcache.Config{})
+	tr.Oracle = oracle.NewStack(oracle.Config{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Step()

@@ -8,22 +8,29 @@
 //
 // Both files may hold whole modules: functions are paired by name and
 // validated concurrently across -workers goroutines through the
-// memoizing verification engine (internal/vcache), so duplicate
-// function bodies are proven once.
+// default oracle stack (internal/oracle), so duplicate function
+// bodies are proven once.
+//
+// A first SIGINT cancels in-flight verification; functions not yet
+// checked report an inconclusive "canceled" verdict. A second SIGINT
+// force-kills via the default handler.
 //
 // Exit status: 0 equivalent, 1 semantic/syntax error, 2 inconclusive,
-// 3 usage or source errors.
+// 3 usage or source errors, 130 interrupted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 
 	"veriopt/internal/alive"
 	"veriopt/internal/ir"
-	"veriopt/internal/vcache"
+	"veriopt/internal/oracle"
+	"veriopt/internal/par"
 )
 
 func main() {
@@ -36,6 +43,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: alivecheck [-paths n] [-budget n] [-workers n] [-stats] source.ll target.ll")
 		os.Exit(3)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// After the first SIGINT cancels ctx, restore the default
+		// handler so a second SIGINT terminates immediately.
+		<-ctx.Done()
+		stop()
+	}()
 	srcBlob, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -54,9 +69,9 @@ func main() {
 		opts.SolverBudget = *budget
 	}
 
-	results, err := check(string(srcBlob), string(tgtBlob), opts, *workers)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
+	results, checkErr := check(ctx, string(srcBlob), string(tgtBlob), opts, *workers)
+	if checkErr != nil && results == nil {
+		fmt.Fprintln(os.Stderr, "error:", checkErr)
 		os.Exit(3)
 	}
 	worst := 0
@@ -80,7 +95,12 @@ func main() {
 		}
 	}
 	if *stats {
-		fmt.Fprintln(os.Stderr, vcache.Default.Stats())
+		ostats, cstats := oracle.Default().OracleStats()
+		fmt.Fprintf(os.Stderr, "[%s]\n[%s]\n", ostats, cstats)
+	}
+	if checkErr != nil {
+		fmt.Fprintln(os.Stderr, "interrupted: partial results above")
+		os.Exit(130)
 	}
 	os.Exit(worst)
 }
@@ -93,8 +113,10 @@ type funcResult struct {
 // check validates every target function against the same-named source
 // function, fanning the queries out across the worker pool. The
 // single-function case preserves alivecheck's original behavior
-// (names need not match).
-func check(srcText, tgtText string, opts alive.Options, workers int) ([]funcResult, error) {
+// (names need not match). On cancellation it returns the partially
+// filled results alongside the context error; unreached functions
+// carry a canceled (inconclusive) verdict.
+func check(ctx context.Context, srcText, tgtText string, opts alive.Options, workers int) ([]funcResult, error) {
 	srcMod, err := ir.Parse(srcText)
 	if err != nil {
 		return nil, fmt.Errorf("source does not parse: %w", err)
@@ -103,7 +125,7 @@ func check(srcText, tgtText string, opts alive.Options, workers int) ([]funcResu
 		return nil, fmt.Errorf("source does not verify: %w", err)
 	}
 	if len(srcMod.Funcs) == 1 {
-		res, err := alive.VerifyText(srcText, tgtText, opts)
+		res, err := alive.VerifyTextCtx(ctx, srcText, tgtText, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -123,10 +145,13 @@ func check(srcText, tgtText string, opts alive.Options, workers int) ([]funcResu
 			Diag:    "ERROR: couldn't parse transformed IR: " + err.Error(),
 		}}}, nil
 	}
+	o := oracle.Default()
 	out := make([]funcResult, len(tgtMod.Funcs))
-	vcache.ParallelFor(workers, len(tgtMod.Funcs), func(i int) {
+	for i, tf := range tgtMod.Funcs {
+		out[i] = funcResult{name: tf.Name(), res: alive.CanceledResult(context.Canceled)}
+	}
+	runErr := par.For(ctx, workers, len(tgtMod.Funcs), func(i int) {
 		tf := tgtMod.Funcs[i]
-		out[i].name = tf.Name()
 		sf, ok := srcByName[tf.Name()]
 		if !ok {
 			out[i].res = alive.Result{Verdict: alive.SyntaxError,
@@ -137,7 +162,7 @@ func check(srcText, tgtText string, opts alive.Options, workers int) ([]funcResu
 			out[i].res = alive.Result{Verdict: alive.SyntaxError, Diag: "ERROR: invalid IR: " + err.Error()}
 			return
 		}
-		out[i].res = vcache.Default.VerifyFuncs(sf, tf, opts)
+		out[i].res = o.Verify(ctx, sf, tf, opts)
 	})
-	return out, nil
+	return out, runErr
 }

@@ -5,34 +5,76 @@
 //
 //	irtool print   file.ll           # parse + canonical print
 //	irtool verify  file.ll           # structural verification
-//	irtool opt     file.ll           # run the instcombine pass
+//	irtool opt     [-verify] file.ll # run the instcombine pass
 //	irtool cost    file.ll           # latency / icount / size metrics
 //	irtool interp  file.ll fn args   # interpret a function on inputs
+//
+// With -verify, opt translation-validates every rewritten function
+// through the oracle stack and keeps the input wherever the proof
+// fails; SIGINT cancels in-flight proofs (unproven functions keep
+// their input) and a second SIGINT force-kills.
 package main
 
 import (
+	"context"
+	"errors"
+	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strconv"
 
+	"veriopt/internal/alive"
 	"veriopt/internal/costmodel"
 	"veriopt/internal/instcombine"
 	"veriopt/internal/interp"
 	"veriopt/internal/ir"
+	"veriopt/internal/oracle"
+	"veriopt/internal/par"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// First SIGINT cancels ctx; unregistering the handler lets a
+		// second SIGINT terminate via the default action.
+		<-ctx.Done()
+		stop()
+	}()
+	err := run(ctx, os.Args[1:])
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "interrupted: partial results flushed above")
+		os.Exit(130)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) < 2 {
 		return fmt.Errorf("usage: irtool print|verify|opt|cost|interp <file.ll> [fn args...]")
 	}
-	cmd, path := args[0], args[1]
+	cmd, rest := args[0], args[1:]
+
+	verify := false
+	workers := runtime.NumCPU()
+	if cmd == "opt" {
+		fs := flag.NewFlagSet("opt", flag.ContinueOnError)
+		fs.BoolVar(&verify, "verify", false, "translation-validate each rewrite; keep input on failure")
+		fs.IntVar(&workers, "workers", runtime.NumCPU(), "verification workers (with -verify)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		rest = fs.Args()
+	}
+	if len(rest) < 1 {
+		return fmt.Errorf("%s needs a file argument", cmd)
+	}
+	path := rest[0]
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -50,25 +92,49 @@ func run(args []string) error {
 		}
 		fmt.Println("OK")
 	case "opt":
-		for i, f := range m.Funcs {
-			m.Funcs[i] = instcombine.Run(f)
+		if !verify {
+			for i, f := range m.Funcs {
+				m.Funcs[i] = instcombine.Run(f)
+			}
+			fmt.Print(ir.Print(m))
+			return nil
+		}
+		o := oracle.Default()
+		opts := alive.DefaultOptions()
+		proven := make([]*ir.Function, len(m.Funcs))
+		runErr := par.For(ctx, workers, len(m.Funcs), func(i int) {
+			f := m.Funcs[i]
+			cand := instcombine.Run(f)
+			res := o.Verify(ctx, f, cand, opts)
+			if res.Verdict != alive.Equivalent {
+				fmt.Fprintf(os.Stderr, "; @%s: verdict %s, keeping input\n", f.Name(), res.Verdict)
+				return
+			}
+			proven[i] = cand
+		})
+		for i, cand := range proven {
+			if cand != nil {
+				cand.NameStr = m.Funcs[i].NameStr
+				m.Funcs[i] = cand
+			}
 		}
 		fmt.Print(ir.Print(m))
+		return runErr
 	case "cost":
 		for _, f := range m.Funcs {
 			ms := costmodel.Measure(f)
 			fmt.Printf("@%s: latency=%d icount=%d size=%d\n", f.Name(), ms.Latency, ms.ICount, ms.Size)
 		}
 	case "interp":
-		if len(args) < 3 {
+		if len(rest) < 2 {
 			return fmt.Errorf("interp needs a function name")
 		}
-		f := m.Func(args[2])
+		f := m.Func(rest[1])
 		if f == nil {
-			return fmt.Errorf("no function @%s", args[2])
+			return fmt.Errorf("no function @%s", rest[1])
 		}
 		var vals []interp.Val
-		for _, a := range args[3:] {
+		for _, a := range rest[2:] {
 			v, err := strconv.ParseInt(a, 0, 64)
 			if err != nil {
 				return fmt.Errorf("argument %q: %w", a, err)

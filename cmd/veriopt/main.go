@@ -4,17 +4,30 @@
 //
 // Usage:
 //
-//	veriopt experiments [-run id|all] [-n corpus] [-seed s] [flags]
-//	veriopt train       [-n corpus] [-seed s] [flags]
+//	veriopt experiments [-run id|all] [-n corpus] [-seed s] [-trace f] [flags]
+//	veriopt train       [-n corpus] [-seed s] [-trace f] [flags]
 //	veriopt dataset     [-n corpus] [-seed s] [-out dir]
 //	veriopt list
+//
+// A first SIGINT cancels the run cooperatively: in-flight training
+// steps abort without a model update, evaluations stop dispatching,
+// and the partial report plus verifier stats are still printed before
+// exit. A second SIGINT force-kills via the default handler.
+//
+// -trace writes structured JSON-lines events (internal/obs schema:
+// run_start, stage_start/stage_end with verdict/cache deltas and
+// reward summaries, eval, interrupted, run_end) to a file, or to
+// stderr with "-trace -".
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -25,12 +38,23 @@ import (
 	"veriopt/internal/experiments"
 	"veriopt/internal/instcombine"
 	"veriopt/internal/ir"
+	"veriopt/internal/obs"
+	"veriopt/internal/oracle"
+	"veriopt/internal/par"
 	"veriopt/internal/pipeline"
 	"veriopt/internal/policy"
-	"veriopt/internal/vcache"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// Once the first SIGINT has canceled ctx, unregister the
+		// handler: a second SIGINT terminates via the default action.
+		<-ctx.Done()
+		stop()
+	}()
+
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
@@ -38,13 +62,13 @@ func main() {
 	var err error
 	switch os.Args[1] {
 	case "experiments":
-		err = cmdExperiments(os.Args[2:])
+		err = cmdExperiments(ctx, os.Args[2:])
 	case "train":
-		err = cmdTrain(os.Args[2:])
+		err = cmdTrain(ctx, os.Args[2:])
 	case "dataset":
 		err = cmdDataset(os.Args[2:])
 	case "optimize":
-		err = cmdOptimize(os.Args[2:])
+		err = cmdOptimize(ctx, os.Args[2:])
 	case "list":
 		fmt.Println("available experiments:")
 		for _, id := range experiments.IDs() {
@@ -56,6 +80,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", os.Args[1])
 		usage()
 		os.Exit(2)
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "interrupted: partial results flushed above")
+		os.Exit(130)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -72,10 +100,13 @@ subcommands:
                (-save model.json persists the Model-Latency policy)
   optimize     optimize a .ll file with a trained model + verifier fallback
   dataset      generate a corpus and write .ll files
-  list         list experiment ids`)
+  list         list experiment ids
+
+SIGINT cancels cooperatively (partial report + stats still print);
+-trace file|- emits JSON-lines progress events (see internal/obs).`)
 }
 
-func commonFlags(fs *flag.FlagSet) (*int, *int64, *int, *int, *int, *int) {
+func commonFlags(fs *flag.FlagSet) (*int, *int64, *int, *int, *int, *int, *string) {
 	n := fs.Int("n", 240, "corpus size (train+validation)")
 	seed := fs.Int64("seed", 42, "random seed")
 	s1 := fs.Int("stage1", 10, "Model Zero GRPO steps")
@@ -83,10 +114,27 @@ func commonFlags(fs *flag.FlagSet) (*int, *int64, *int, *int, *int, *int) {
 	s3 := fs.Int("stage3", 80, "Model-Latency GRPO steps")
 	workers := fs.Int("workers", runtime.NumCPU(),
 		"verification/rollout worker count (results are identical at any value)")
-	return n, seed, s1, s2, s3, workers
+	trace := fs.String("trace", "", "write JSON-lines trace events to this file ('-' = stderr)")
+	return n, seed, s1, s2, s3, workers, trace
 }
 
-func buildContext(n int, seed int64, s1, s2, s3, workers int) *experiments.Context {
+// openTrace builds the recorder for -trace. An empty path yields a
+// nil recorder, which obs treats as a no-op sink.
+func openTrace(path string) (*obs.Recorder, func(), error) {
+	switch path {
+	case "":
+		return nil, func() {}, nil
+	case "-":
+		return obs.New(os.Stderr), func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open trace file: %w", err)
+	}
+	return obs.New(f), func() { f.Close() }, nil
+}
+
+func buildContext(ctx context.Context, rec *obs.Recorder, n int, seed int64, s1, s2, s3, workers int) *experiments.Context {
 	cfg := experiments.DefaultConfig()
 	cfg.CorpusN = n
 	cfg.Seed = seed
@@ -94,80 +142,133 @@ func buildContext(n int, seed int64, s1, s2, s3, workers int) *experiments.Conte
 	cfg.Stage.Stage1Steps = s1
 	cfg.Stage.Stage2Steps = s2
 	cfg.Stage.Stage3Steps = s3
-	ctx := experiments.NewContext(cfg)
-	ctx.Progress = func(msg string) {
+	c := experiments.NewContext(cfg)
+	c.Ctx = ctx
+	c.Oracle = oracle.Default()
+	c.Obs = rec
+	c.Progress = func(msg string) {
 		fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), msg)
 	}
-	return ctx
+	return c
 }
 
-// reportVerifierStats prints the process-wide verification-engine
-// counters (queries, cache hits, solver wall time) to stderr.
-func reportVerifierStats() {
-	fmt.Fprintf(os.Stderr, "[%s]\n", vcache.Default.Stats())
+// reportVerifierStats prints the oracle stack's counters (per-verdict
+// query distribution plus cache hits and solver wall time) to stderr.
+func reportVerifierStats(o oracle.Oracle) {
+	src, ok := oracle.OrDefault(o).(oracle.StatsSource)
+	if !ok {
+		return
+	}
+	ostats, cstats := src.OracleStats()
+	fmt.Fprintf(os.Stderr, "[%s]\n[%s]\n", ostats, cstats)
 }
 
-func cmdExperiments(args []string) error {
+func cmdExperiments(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	run := fs.String("run", "all", "experiment id or 'all'")
-	n, seed, s1, s2, s3, workers := commonFlags(fs)
+	n, seed, s1, s2, s3, workers, trace := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx := buildContext(*n, *seed, *s1, *s2, *s3, *workers)
+	rec, closeTrace, err := openTrace(*trace)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
+	c := buildContext(ctx, rec, *n, *seed, *s1, *s2, *s3, *workers)
+	defer reportVerifierStats(c.Oracle)
 	ids := experiments.IDs()
 	if *run != "all" {
 		ids = strings.Split(*run, ",")
 	}
+	rec.Emit(obs.Event{Kind: "run_start", Note: fmt.Sprintf("%d experiments", len(ids))})
 	for _, id := range ids {
 		t0 := time.Now()
-		out, err := experiments.Run(strings.TrimSpace(id), ctx)
+		out, err := experiments.Run(strings.TrimSpace(id), c)
 		if err != nil {
+			rec.Emit(obs.Event{Kind: "interrupted", Stage: id, Note: err.Error()})
 			return err
 		}
 		fmt.Println(experiments.Render(out))
 		fmt.Fprintf(os.Stderr, "[%s took %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
+		rec.Emit(obs.Event{Kind: "eval", Stage: id,
+			WallMs: float64(time.Since(t0).Microseconds()) / 1000})
 	}
-	reportVerifierStats()
+	rec.Emit(obs.Event{Kind: "run_end"})
 	return nil
 }
 
-func cmdTrain(args []string) error {
+func cmdTrain(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	save := fs.String("save", "", "write the trained Model-Latency policy to this JSON file")
-	n, seed, s1, s2, s3, workers := commonFlags(fs)
+	n, seed, s1, s2, s3, workers, trace := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx := buildContext(*n, *seed, *s1, *s2, *s3, *workers)
-	res, err := ctx.Pipeline()
+	rec, closeTrace, err := openTrace(*trace)
 	if err != nil {
 		return err
 	}
-	val, err := ctx.Val()
+	defer closeTrace()
+	c := buildContext(ctx, rec, *n, *seed, *s1, *s2, *s3, *workers)
+	defer reportVerifierStats(c.Oracle)
+	rec.Emit(obs.Event{Kind: "run_start", Note: "train"})
+
+	res, runErr := c.Pipeline()
+	if res == nil {
+		return runErr
+	}
+	// Print the evaluation table for every model that finished
+	// training — on SIGINT that is the partial report; unfinished
+	// stages are reported as skipped.
+	val, err := c.Val()
 	if err != nil {
 		return err
 	}
-	ec := pipeline.EvalConfig{Verify: pipeline.EvalOptions(), Workers: *workers}
+	ec := pipeline.EvalConfig{Verify: pipeline.EvalOptions(), Workers: *workers, Oracle: c.Oracle}
 	rows := []struct {
-		name string
-		rep  *pipeline.Report
+		name      string
+		m         *policy.Model
+		augmented bool
 	}{
-		{"base", pipeline.EvaluateWith(res.Base, val, false, ec)},
-		{"model-zero", pipeline.EvaluateWith(res.ModelZero, val, false, ec)},
-		{"warm-up", pipeline.EvaluateWith(res.WarmUp, val, true, ec)},
-		{"correctness", pipeline.EvaluateWith(res.Correctness, val, true, ec)},
-		{"latency", pipeline.EvaluateWith(res.Latency, val, false, ec)},
+		{"base", res.Base, false},
+		{"model-zero", res.ModelZero, false},
+		{"warm-up", res.WarmUp, true},
+		{"correctness", res.Correctness, true},
+		{"latency", res.Latency, false},
 	}
 	fmt.Printf("%-12s %9s %9s %13s %9s\n", "model", "correct%", "copies%", "diff-correct%", "speedup")
+	var last *pipeline.Report
 	for _, r := range rows {
+		if r.m == nil {
+			fmt.Printf("%-12s (stage not reached before interrupt)\n", r.name)
+			continue
+		}
+		// Evaluation itself stays cancelable, but runs on Background
+		// after an interrupt so the partial report can still be
+		// produced for the completed stages.
+		ectx := ctx
+		if runErr != nil {
+			ectx = context.Background()
+		}
+		rep, err := pipeline.EvaluateCtx(ectx, r.m, val, r.augmented, ec)
+		if err != nil {
+			return err
+		}
+		last = rep
 		fmt.Printf("%-12s %8.1f%% %8.1f%% %12.1f%% %8.2fx\n",
-			r.name, 100*r.rep.CorrectFrac(),
-			100*float64(r.rep.Copies)/float64(r.rep.Total()),
-			100*r.rep.DifferentCorrectFrac(), pipeline.GeomeanSpeedup(r.rep))
+			r.name, 100*rep.CorrectFrac(),
+			100*float64(rep.Copies)/float64(rep.Total()),
+			100*rep.DifferentCorrectFrac(), pipeline.GeomeanSpeedup(rep))
 	}
-	fmt.Printf("instcombine reference speedup: %.2fx\n", pipeline.RefGeomeanSpeedup(rows[len(rows)-1].rep))
-	reportVerifierStats()
+	if last != nil {
+		fmt.Printf("instcombine reference speedup: %.2fx\n", pipeline.RefGeomeanSpeedup(last))
+	}
+	if runErr != nil {
+		rec.Emit(obs.Event{Kind: "interrupted", Note: runErr.Error()})
+		return runErr
+	}
+	rec.Emit(obs.Event{Kind: "run_end"})
 	if *save != "" {
 		blob, err := json.MarshalIndent(res.Latency, "", " ")
 		if err != nil {
@@ -184,7 +285,7 @@ func cmdTrain(args []string) error {
 // cmdOptimize runs a trained policy on every function of a .ll file,
 // applying the paper's deployment rule: emit the model's output only
 // when the verifier proves it, else fall back to the input.
-func cmdOptimize(args []string) error {
+func cmdOptimize(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
 	modelPath := fs.String("model", "", "trained policy JSON (from train -save); empty = use instcombine only")
 	workers := fs.Int("workers", runtime.NumCPU(), "verification worker count")
@@ -217,12 +318,15 @@ func cmdOptimize(args []string) error {
 		}
 	}
 	opts := alive.DefaultOptions()
+	o := oracle.Default()
+	defer reportVerifierStats(o)
 	// Generate + verify every function in parallel; notes and the
 	// module rewrite are applied sequentially afterwards so output
-	// order is deterministic.
+	// order is deterministic. On SIGINT the unreached functions keep
+	// their input (the fallback rule) and the partial module prints.
 	notes := make([]string, len(m.Funcs))
 	accepted := make([]*ir.Function, len(m.Funcs))
-	vcache.ParallelFor(*workers, len(m.Funcs), func(i int) {
+	runErr := par.For(ctx, *workers, len(m.Funcs), func(i int) {
 		f := m.Funcs[i]
 		var cand *ir.Function
 		if model != nil {
@@ -237,7 +341,7 @@ func cmdOptimize(args []string) error {
 			notes[i] = fmt.Sprintf("; @%s: output rejected (parse), keeping input", f.Name())
 			return
 		}
-		res := vcache.Default.VerifyFuncs(f, cand, opts)
+		res := o.Verify(ctx, f, cand, opts)
 		if res.Verdict != alive.Equivalent {
 			notes[i] = fmt.Sprintf("; @%s: verifier verdict %s, keeping input", f.Name(), res.Verdict)
 			return
@@ -246,6 +350,9 @@ func cmdOptimize(args []string) error {
 	})
 	for i, cand := range accepted {
 		if cand == nil {
+			if notes[i] == "" {
+				notes[i] = fmt.Sprintf("; @%s: not verified before interrupt, keeping input", m.Funcs[i].Name())
+			}
 			fmt.Fprintln(os.Stderr, notes[i])
 			continue
 		}
@@ -253,8 +360,7 @@ func cmdOptimize(args []string) error {
 		m.Funcs[i] = cand
 	}
 	fmt.Print(ir.Print(m))
-	reportVerifierStats()
-	return nil
+	return runErr
 }
 
 func cmdDataset(args []string) error {

@@ -10,6 +10,7 @@
 package alive
 
 import (
+	"context"
 	"fmt"
 
 	"veriopt/internal/bv"
@@ -26,6 +27,17 @@ func (e *errUnsupported) Error() string { return "unsupported: " + e.what }
 type errPathLimit struct{ what string }
 
 func (e *errPathLimit) Error() string { return "resource limit: " + e.what }
+
+// errCanceled marks a context that ended mid-execution; it surfaces
+// as a Canceled Inconclusive verdict (never cached).
+type errCanceled struct{ cause error }
+
+func (e *errCanceled) Error() string {
+	if e.cause == nil {
+		return "canceled"
+	}
+	return "canceled: " + e.cause.Error()
+}
 
 // symVal is a symbolic value: bits plus a poison condition.
 type symVal struct {
@@ -58,6 +70,9 @@ type summary struct {
 
 // execConfig bounds symbolic execution.
 type execConfig struct {
+	// ctx is polled periodically during execution; nil means never
+	// canceled.
+	ctx      context.Context
 	maxPaths int
 	maxSteps int // total instruction visits across all paths
 	// prefix distinguishes source from target for internal var names.
@@ -192,6 +207,14 @@ func (ex *executor) runBlock(blk *ir.Block, pred *ir.Block, ps *pathState) error
 		ex.steps++
 		if ex.steps > ex.cfg.maxSteps {
 			return &errPathLimit{"step budget exhausted (loop too deep?)"}
+		}
+		// Poll the context every 64 instruction visits: cheap against
+		// term construction, frequent enough that cancellation lands
+		// well inside one path.
+		if ex.steps&63 == 0 && ex.cfg.ctx != nil {
+			if err := ex.cfg.ctx.Err(); err != nil {
+				return &errCanceled{cause: err}
+			}
 		}
 		switch in.Op {
 		case ir.OpRet:

@@ -1,6 +1,7 @@
 package alive
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -43,6 +44,24 @@ type Result struct {
 	Counterexample map[string]uint64
 	// SolverConflicts counts total SAT conflicts spent.
 	SolverConflicts int
+	// Canceled marks an Inconclusive verdict produced because the
+	// query's context ended (cancellation or timeout) rather than
+	// because the query itself exhausted its limits. Canceled results
+	// are transient — they must never be memoized (internal/vcache
+	// skips them) and re-running the query under a live context can
+	// still prove it.
+	Canceled bool
+}
+
+// CanceledResult builds the verdict returned when a query's context
+// ends mid-verification. err should be the context's error.
+func CanceledResult(err error) Result {
+	msg := "context ended"
+	if err != nil {
+		msg = err.Error()
+	}
+	return Result{Verdict: Inconclusive, Canceled: true,
+		Diag: "ERROR: verification canceled: " + msg}
 }
 
 // Options controls verification limits.
@@ -76,6 +95,13 @@ func DefaultOptions() Options {
 // returned otherwise, since a broken source indicates harness misuse,
 // not a model failure).
 func VerifyText(srcText, tgtText string, opts Options) (Result, error) {
+	return VerifyTextCtx(context.Background(), srcText, tgtText, opts)
+}
+
+// VerifyTextCtx is VerifyText under a context: cancellation or
+// deadline expiry aborts symbolic execution and solving promptly,
+// yielding a Canceled Inconclusive result.
+func VerifyTextCtx(ctx context.Context, srcText, tgtText string, opts Options) (Result, error) {
 	src, err := ir.ParseFunc(srcText)
 	if err != nil {
 		return Result{}, fmt.Errorf("alive: source does not parse: %w", err)
@@ -90,12 +116,25 @@ func VerifyText(srcText, tgtText string, opts Options) (Result, error) {
 	if err := ir.VerifyFunc(tgt); err != nil {
 		return Result{Verdict: SyntaxError, Diag: "ERROR: invalid IR: " + err.Error()}, nil
 	}
-	return VerifyFuncs(src, tgt, opts), nil
+	return VerifyFuncsCtx(ctx, src, tgt, opts), nil
 }
 
 // VerifyFuncs validates that tgt refines src. Both functions must be
 // structurally well-formed.
 func VerifyFuncs(src, tgt *ir.Function, opts Options) Result {
+	return VerifyFuncsCtx(context.Background(), src, tgt, opts)
+}
+
+// VerifyFuncsCtx is VerifyFuncs under a context. The context is
+// polled during symbolic execution and between refinement queries, so
+// a cancellation lands within one bounded solver call at worst.
+func VerifyFuncsCtx(ctx context.Context, src, tgt *ir.Function, opts Options) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return CanceledResult(err)
+	}
 	if opts.MaxPaths == 0 {
 		opts = DefaultOptions()
 	}
@@ -144,7 +183,7 @@ func VerifyFuncs(src, tgt *ir.Function, opts Options) Result {
 		return t
 	}
 
-	cfg := execConfig{maxPaths: opts.MaxPaths, maxSteps: opts.MaxSteps, callVar: callVar}
+	cfg := execConfig{ctx: ctx, maxPaths: opts.MaxPaths, maxSteps: opts.MaxSteps, callVar: callVar}
 	sSum, err := exec(b, src, params, cfg)
 	if err != nil {
 		return inconclusiveFrom(err)
@@ -154,13 +193,16 @@ func VerifyFuncs(src, tgt *ir.Function, opts Options) Result {
 		return inconclusiveFrom(err)
 	}
 
-	return refine(b, sSum, tSum, paramNames, opts)
+	return refine(ctx, b, sSum, tSum, paramNames, opts)
 }
 
 func inconclusiveFrom(err error) Result {
 	var unsup *errUnsupported
 	var lim *errPathLimit
+	var canc *errCanceled
 	switch {
+	case errors.As(err, &canc):
+		return CanceledResult(canc.cause)
 	case errors.As(err, &unsup):
 		return Result{Verdict: Inconclusive, Diag: "ERROR: " + unsup.Error()}
 	case errors.As(err, &lim):
@@ -176,7 +218,7 @@ type refinementQuery struct {
 	diag string
 }
 
-func refine(b *bv.Builder, src, tgt *summary, paramNames []string, opts Options) Result {
+func refine(ctx context.Context, b *bv.Builder, src, tgt *summary, paramNames []string, opts Options) Result {
 	srcOK := b.Not(src.ub)
 	var queries []refinementQuery
 
@@ -275,6 +317,12 @@ func refine(b *bv.Builder, src, tgt *summary, paramNames []string, opts Options)
 	for _, q := range queries {
 		if isFalse(q.cond) {
 			continue // statically impossible
+		}
+		// Each CheckSat call is bounded by SolverBudget; polling the
+		// context between queries keeps the cancellation latency within
+		// one solver call.
+		if err := ctx.Err(); err != nil {
+			return CanceledResult(err)
 		}
 		res, err := bv.CheckSat(q.cond, opts.SolverBudget)
 		if err != nil {

@@ -50,8 +50,14 @@ func AblationGRPO(c *Context) (*Outcome, error) {
 		cfg.Workers = c.Cfg.Workers
 		v.mutate(&cfg)
 		tr := grpo.NewTrainer(m, train, cfg, c.Cfg.Seed+7000+int64(i))
-		tr.Train(steps)
-		rep := pipeline.EvaluateWith(m, val, false, vo)
+		tr.Oracle = c.Oracle
+		if _, err := tr.TrainCtx(c.Context(), steps); err != nil {
+			return nil, err
+		}
+		rep, err := c.Evaluate(m, val, false, vo)
+		if err != nil {
+			return nil, err
+		}
 		sp := pipeline.GeomeanSpeedup(rep)
 		fmt.Fprintf(&sb, "%-38s %11.1f%% %11.1f%% %9.2fx\n",
 			v.name, 100*rep.DifferentCorrectFrac(), 100*rep.CorrectFrac(), sp)
@@ -75,8 +81,14 @@ func AblationVerifier(c *Context) (*Outcome, error) {
 		return nil, err
 	}
 	vo := c.EvalConfig(pipeline.EvalOptions())
-	baseRep := pipeline.EvaluateWith(res.Base, val, false, vo)
-	latRep := pipeline.EvaluateWith(res.Latency, val, false, vo)
+	baseRep, err := c.Evaluate(res.Base, val, false, vo)
+	if err != nil {
+		return nil, err
+	}
+	latRep, err := c.Evaluate(res.Latency, val, false, vo)
+	if err != nil {
+		return nil, err
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Verifier as post-filter only (base model + fallback): diff-correct %.1f%%, speedup %.2fx\n",
 		100*baseRep.DifferentCorrectFrac(), pipeline.GeomeanSpeedup(baseRep))

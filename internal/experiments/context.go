@@ -6,12 +6,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"veriopt/internal/alive"
 	"veriopt/internal/baselines"
 	"veriopt/internal/dataset"
+	"veriopt/internal/obs"
+	"veriopt/internal/oracle"
 	"veriopt/internal/pipeline"
+	"veriopt/internal/policy"
 )
 
 // Config sizes an experiment run. Defaults are commodity-scale; the
@@ -48,6 +52,17 @@ func DefaultConfig() Config {
 type Context struct {
 	Cfg Config
 
+	// Ctx, when non-nil, makes every run built through this Context
+	// cancelable: training steps abort without a model update and
+	// evaluations return partial reports. nil means Background.
+	Ctx context.Context
+	// Oracle answers all verification queries; nil selects the shared
+	// default stack (oracle.Default).
+	Oracle oracle.Oracle
+	// Obs, when non-nil, receives per-stage trace events from the
+	// curriculum run.
+	Obs *obs.Recorder
+
 	samples []*dataset.Sample
 	train   []*dataset.Sample
 	val     []*dataset.Sample
@@ -64,6 +79,14 @@ func (c *Context) progress(format string, args ...interface{}) {
 	if c.Progress != nil {
 		c.Progress(fmt.Sprintf(format, args...))
 	}
+}
+
+// Context returns the cancellation context runs observe.
+func (c *Context) Context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // Corpus returns the generated samples, building them on first use.
@@ -97,6 +120,9 @@ func (c *Context) Val() ([]*dataset.Sample, error) {
 }
 
 // Pipeline returns the trained curriculum, running it on first use.
+// A canceled run is returned partially filled (completed stages keep
+// their models) with the context's error, and is not cached, so a
+// later call under a live context retrains.
 func (c *Context) Pipeline() (*pipeline.Result, error) {
 	if c.res == nil {
 		train, err := c.Train()
@@ -106,17 +132,30 @@ func (c *Context) Pipeline() (*pipeline.Result, error) {
 		cfg := c.Cfg.Stage
 		cfg.Seed = c.Cfg.Seed
 		cfg.Workers = c.Cfg.Workers
+		cfg.Oracle = c.Oracle
+		cfg.Obs = c.Obs
 		c.progress("training curriculum (stages 1-3)...")
-		c.res = pipeline.Run(train, cfg)
+		res, err := pipeline.RunCtx(c.Context(), train, cfg)
+		if err != nil {
+			return res, err
+		}
+		c.res = res
 	}
 	return c.res, nil
 }
 
 // EvalConfig builds the evaluation config experiments should use: the
-// given verification limits plus the context's worker bound (the
-// process-wide verdict cache is shared by default).
+// given verification limits plus the context's worker bound and
+// oracle (the shared default stack when none is set).
 func (c *Context) EvalConfig(vo alive.Options) pipeline.EvalConfig {
-	return pipeline.EvalConfig{Verify: vo, Workers: c.Cfg.Workers}
+	return pipeline.EvalConfig{Verify: vo, Workers: c.Cfg.Workers, Oracle: c.Oracle}
+}
+
+// Evaluate runs a cancelable evaluation under the context's Ctx and
+// oracle. Experiments route every evaluation through here so a SIGINT
+// mid-experiment propagates instead of running the remaining samples.
+func (c *Context) Evaluate(m *policy.Model, samples []*dataset.Sample, augmented bool, cfg pipeline.EvalConfig) (*pipeline.Report, error) {
+	return pipeline.EvaluateCtx(c.Context(), m, samples, augmented, cfg)
 }
 
 // Baselines returns the Fig. 5 comparison suite.

@@ -7,6 +7,7 @@ import (
 
 	"veriopt/internal/grpo"
 	"veriopt/internal/pipeline"
+	"veriopt/internal/policy"
 )
 
 // sparkline renders a float series as a compact text chart.
@@ -114,9 +115,17 @@ func Fig5(c *Context) (*Outcome, error) {
 	}
 	var rows []row
 	for _, b := range bl {
-		rows = append(rows, row{b.Name, b.Params, pipeline.EvaluateWith(b.Model, val, b.Augmented, vo)})
+		rep, err := c.Evaluate(b.Model, val, b.Augmented, vo)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row{b.Name, b.Params, rep})
 	}
-	rows = append(rows, row{"LLM-VeriOpt-3B (ours)", 3, pipeline.EvaluateWith(res.Latency, val, false, vo)})
+	ours, err := c.Evaluate(res.Latency, val, false, vo)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, row{"LLM-VeriOpt-3B (ours)", 3, ours})
 	for _, r := range rows {
 		sp := pipeline.GeomeanSpeedup(r.rep)
 		ic := pipeline.GeomeanRatio(r.rep, pipeline.MetricICount)
@@ -142,7 +151,10 @@ func Fig6(c *Context) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := pipeline.EvaluateWith(res.Latency, val, false, c.EvalConfig(pipeline.EvalOptions()))
+	rep, err := c.Evaluate(res.Latency, val, false, c.EvalConfig(pipeline.EvalOptions()))
+	if err != nil {
+		return nil, err
+	}
 	var sb strings.Builder
 	nums := map[string]float64{}
 	total := float64(rep.Total())
@@ -186,14 +198,27 @@ func Fig7(c *Context) (*Outcome, error) {
 		return nil, err
 	}
 	vo := c.EvalConfig(pipeline.EvalOptions())
-	stages := []struct {
+	type stageRow struct {
 		name string
 		rep  *pipeline.Report
+	}
+	plan := []struct {
+		name      string
+		m         *policy.Model
+		augmented bool
 	}{
-		{"Model Zero", pipeline.EvaluateWith(res.ModelZero, val, false, vo)},
-		{"Warm-up", pipeline.EvaluateWith(res.WarmUp, val, true, vo)},
-		{"Model-Correctness", pipeline.EvaluateWith(res.Correctness, val, true, vo)},
-		{"Model-Latency", pipeline.EvaluateWith(res.Latency, val, false, vo)},
+		{"Model Zero", res.ModelZero, false},
+		{"Warm-up", res.WarmUp, true},
+		{"Model-Correctness", res.Correctness, true},
+		{"Model-Latency", res.Latency, false},
+	}
+	var stages []stageRow
+	for _, p := range plan {
+		rep, err := c.Evaluate(p.m, val, p.augmented, vo)
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, stageRow{p.name, rep})
 	}
 	var sb strings.Builder
 	nums := map[string]float64{}

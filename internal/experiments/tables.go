@@ -47,7 +47,10 @@ func Table1(c *Context) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := pipeline.EvaluateWith(res.Base, val, false, c.EvalConfig(pipeline.EvalOptions()))
+	rep, err := c.Evaluate(res.Base, val, false, c.EvalConfig(pipeline.EvalOptions()))
+	if err != nil {
+		return nil, err
+	}
 	total := float64(rep.Total())
 	return &Outcome{
 		ID:    "table1",
@@ -76,8 +79,14 @@ func Table2(c *Context) (*Outcome, error) {
 		return nil, err
 	}
 	vo := c.EvalConfig(pipeline.EvalOptions())
-	corr := pipeline.EvaluateWith(res.Correctness, val, true, vo)
-	lat := pipeline.EvaluateWith(res.Latency, val, false, vo)
+	corr, err := c.Evaluate(res.Correctness, val, true, vo)
+	if err != nil {
+		return nil, err
+	}
+	lat, err := c.Evaluate(res.Latency, val, false, vo)
+	if err != nil {
+		return nil, err
+	}
 	text := verdictTable("Model-Correctness", corr) + "\n" + verdictTable("Model-Latency", lat)
 	return &Outcome{
 		ID:    "table2",
@@ -121,7 +130,10 @@ func Table3(c *Context) (*Outcome, error) {
 	fmt.Fprintf(&sb, "%-8s %-18s %7s %7s %7s %7s %10s\n", "Metric", "Model", "Better", "Worse", "Tie", "Total", "MeanΔ")
 	for _, metric := range []pipeline.Metric{pipeline.MetricLatency, pipeline.MetricSize, pipeline.MetricICount} {
 		for _, row := range rows {
-			rep := pipeline.EvaluateWith(row.m, val, row.augmented, vo)
+			rep, err := c.Evaluate(row.m, val, row.augmented, vo)
+			if err != nil {
+				return nil, err
+			}
 			o := pipeline.OutcomesVsO0(rep, metric)
 			fmt.Fprintf(&sb, "%-8s %-18s %7d %7d %7d %7d %9.2f%%\n",
 				metric, row.name, o.Better, o.Worse, o.Tie, rep.Total(), 100*o.MeanDelta)

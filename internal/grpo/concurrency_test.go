@@ -1,24 +1,27 @@
 package grpo
 
 import (
+	"context"
 	"math"
 	"testing"
+	"time"
 
 	"veriopt/internal/alive"
 	"veriopt/internal/dataset"
+	"veriopt/internal/ir"
+	"veriopt/internal/oracle"
 	"veriopt/internal/policy"
-	"veriopt/internal/vcache"
 )
 
 // trainSteps runs a fresh trainer with the given worker count and
-// returns it (private verdict cache, so runs are fully independent).
+// returns it (private oracle stack, so runs are fully independent).
 func trainSteps(t *testing.T, samples []*dataset.Sample, workers, steps int) *Trainer {
 	t.Helper()
 	m := policy.New(policy.CapQwen3B, 7)
 	cfg := DefaultConfig()
 	cfg.Workers = workers
 	tr := NewTrainer(m, samples, cfg, 21)
-	tr.Engine = vcache.New(vcache.Config{})
+	tr.Oracle = oracle.NewStack(oracle.Config{})
 	tr.CollectFailures = true
 	tr.Train(steps)
 	return tr
@@ -60,12 +63,91 @@ func TestStepDeterministicAcrossWorkers(t *testing.T) {
 func TestTrainerCacheGetsHits(t *testing.T) {
 	samples := corpus(t, 8)
 	tr := trainSteps(t, samples, 4, 2)
-	s := tr.Engine.Stats()
-	if s.Queries == 0 {
+	os, cs := tr.Oracle.(oracle.StatsSource).OracleStats()
+	if os.Queries == 0 {
 		t.Fatal("no verification queries recorded")
 	}
-	if s.Hits == 0 {
-		t.Fatalf("expected cache hits across a GRPO group: %+v", s)
+	if cs.Hits == 0 {
+		t.Fatalf("expected cache hits across a GRPO group: %+v", cs)
+	}
+}
+
+// TestStepCancellationPromptNoUpdate is the tentpole's cancellation
+// contract for training: canceling mid-Step returns promptly, applies
+// NO model update, appends no reward history, and leaves the input
+// cursor where it was — the resumed trajectory is the uncanceled one.
+func TestStepCancellationPromptNoUpdate(t *testing.T) {
+	samples := corpus(t, 8)
+	m := policy.New(policy.CapQwen3B, 7)
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	tr := NewTrainer(m, samples, cfg, 21)
+
+	started := make(chan struct{}, 1)
+	blocking := oracle.Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-ctx.Done() // wedge every verification until canceled
+		return alive.CanceledResult(ctx.Err())
+	})
+	tr.Oracle = blocking
+
+	before := m.Clone()
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		stats StepStats
+		err   error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		st, err := tr.StepCtx(ctx)
+		done <- outcome{st, err}
+	}()
+	<-started
+	cancel()
+	select {
+	case o := <-done:
+		if o.err == nil {
+			t.Fatal("canceled StepCtx returned nil error")
+		}
+		if o.stats.Episodes != 0 {
+			t.Fatalf("canceled step reported episodes: %+v", o.stats)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("StepCtx did not return promptly after cancel")
+	}
+	if len(tr.RewardHistory) != 0 {
+		t.Fatalf("canceled step appended history: %v", tr.RewardHistory)
+	}
+	for a := range m.B {
+		if m.B[a] != before.B[a] || m.S[a] != before.S[a] || m.P[a] != before.P[a] {
+			t.Fatalf("canceled step updated the model at action %d", a)
+		}
+	}
+	// The cursor rewound: the resumed first step replays the same batch
+	// as an uncanceled run's first step.
+	tr.Oracle = oracle.NewStack(oracle.Config{})
+	resumed := tr.Step()
+	fresh := trainSteps(t, samples, 1, 1)
+	if resumed.MeanReward != fresh.RewardHistory[0] {
+		t.Fatalf("resumed step diverged: %v vs %v", resumed.MeanReward, fresh.RewardHistory[0])
+	}
+}
+
+// TestTrainCtxStopsEarly: cancellation between steps truncates the
+// stats without an extra partial entry.
+func TestTrainCtxStopsEarly(t *testing.T) {
+	samples := corpus(t, 4)
+	m := policy.New(policy.CapQwen3B, 7)
+	tr := NewTrainer(m, samples, DefaultConfig(), 21)
+	tr.Oracle = oracle.NewStack(oracle.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := tr.TrainCtx(ctx, 5)
+	if err == nil || len(stats) != 0 {
+		t.Fatalf("pre-canceled TrainCtx: stats=%d err=%v", len(stats), err)
 	}
 }
 

@@ -8,6 +8,7 @@
 package grpo
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -16,8 +17,8 @@ import (
 	"veriopt/internal/costmodel"
 	"veriopt/internal/dataset"
 	"veriopt/internal/ir"
+	"veriopt/internal/oracle"
 	"veriopt/internal/policy"
-	"veriopt/internal/vcache"
 )
 
 // Judgment is the verifier's view of one episode: the attempt's and
@@ -45,26 +46,24 @@ type Judgment struct {
 
 // Judge verifies an episode against its sample. opts bounds the
 // verifier work per query. Verification goes through the process-wide
-// verdict cache (vcache.Default); use JudgeWith to supply a private
-// engine.
+// oracle stack (oracle.Default); use JudgeWith to supply a private
+// oracle or a cancelable context.
 func Judge(ep *policy.Episode, s *dataset.Sample, opts alive.Options) *Judgment {
-	return JudgeWith(vcache.Default, ep, s, opts)
+	return JudgeWith(context.Background(), nil, ep, s, opts)
 }
 
-// JudgeWith is Judge with an explicit verification engine. A single
-// episode can otherwise pay for the same (source, text) proof twice —
-// the attempt and the final answer frequently coincide across the
-// rollouts of a GRPO group, and greedy evaluation re-proves identical
-// outputs across curriculum stages.
-func JudgeWith(eng *vcache.Engine, ep *policy.Episode, s *dataset.Sample, opts alive.Options) *Judgment {
-	if eng == nil {
-		eng = vcache.Default
-	}
+// JudgeWith is Judge with an explicit oracle (nil selects the shared
+// default stack) and context. The default stack memoizes verdicts, so
+// a single episode does not pay for the same (source, text) proof
+// twice — the attempt and the final answer frequently coincide across
+// the rollouts of a GRPO group, and greedy evaluation re-proves
+// identical outputs across curriculum stages.
+func JudgeWith(ctx context.Context, o oracle.Oracle, ep *policy.Episode, s *dataset.Sample, opts alive.Options) *Judgment {
+	o = oracle.OrDefault(o)
 	j := &Judgment{Copied: ep.Copied}
-	srcKey := vcache.KeyOfText(s.O0Text)
-	j.FinalVerdict, j.FinalFn = verdictOf(eng, srcKey, ep.FinalText, s, opts)
+	j.FinalVerdict, j.FinalFn = verdictOf(ctx, o, ep.FinalText, s, opts)
 	if ep.Diag != nil && ep.AttemptText != ep.FinalText {
-		j.AttemptVerdict, _ = verdictOf(eng, srcKey, ep.AttemptText, s, opts)
+		j.AttemptVerdict, _ = verdictOf(ctx, o, ep.AttemptText, s, opts)
 	} else {
 		j.AttemptVerdict = j.FinalVerdict
 	}
@@ -84,7 +83,7 @@ func JudgeWith(eng *vcache.Engine, ep *policy.Episode, s *dataset.Sample, opts a
 	return j
 }
 
-func verdictOf(eng *vcache.Engine, srcKey, text string, s *dataset.Sample, opts alive.Options) (alive.Result, *ir.Function) {
+func verdictOf(ctx context.Context, o oracle.Oracle, text string, s *dataset.Sample, opts alive.Options) (alive.Result, *ir.Function) {
 	f, err := ir.ParseFunc(text)
 	if err != nil {
 		return alive.Result{Verdict: alive.SyntaxError,
@@ -93,7 +92,7 @@ func verdictOf(eng *vcache.Engine, srcKey, text string, s *dataset.Sample, opts 
 	if err := ir.VerifyFunc(f); err != nil {
 		return alive.Result{Verdict: alive.SyntaxError, Diag: "ERROR: invalid IR: " + err.Error()}, nil
 	}
-	return eng.VerifyKeyed(srcKey, s.O0, vcache.KeyOfText(text), f, opts), f
+	return o.Verify(ctx, s.O0, f, opts), f
 }
 
 // CorrectnessReward is the paper's Eq. 1:

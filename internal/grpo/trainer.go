@@ -1,13 +1,15 @@
 package grpo
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
 	"veriopt/internal/alive"
 	"veriopt/internal/dataset"
+	"veriopt/internal/oracle"
+	"veriopt/internal/par"
 	"veriopt/internal/policy"
-	"veriopt/internal/vcache"
 )
 
 // RewardMode selects the training objective.
@@ -109,9 +111,10 @@ type Trainer struct {
 	Cfg   Config
 	Data  []*dataset.Sample
 
-	// Engine memoizes verification verdicts across episodes and steps.
-	// nil selects the process-wide vcache.Default.
-	Engine *vcache.Engine
+	// Oracle answers the verification queries. nil selects the shared
+	// default stack (oracle.Default), whose cache memoizes verdicts
+	// across episodes and steps.
+	Oracle oracle.Oracle
 
 	// Failures accumulates Model Zero mistakes when CollectFailures is
 	// set.
@@ -173,26 +176,37 @@ func newGrads(m *policy.Model) *grads {
 
 // Step performs one GRPO update: sample a batch of inputs, roll out G
 // completions each in parallel across Cfg.Workers goroutines, verify
-// through the verdict cache, compute group-relative advantages, and
-// apply a single clipped gradient-ascent update. The update is
-// bit-identical at any worker count.
+// through the oracle, compute group-relative advantages, and apply a
+// single clipped gradient-ascent update. The update is bit-identical
+// at any worker count.
 func (tr *Trainer) Step() StepStats {
+	stats, _ := tr.StepCtx(context.Background())
+	return stats
+}
+
+// StepCtx is Step under a cancelable context. When ctx ends
+// mid-rollout, the step aborts promptly: in-flight verifications
+// return Canceled verdicts, the partial grid is discarded, NO model
+// update is applied, and the input cursor rewinds so a resumed run
+// replays the same batch — cancellation never perturbs the
+// deterministic training trajectory, it only truncates it.
+func (tr *Trainer) StepCtx(ctx context.Context) (StepStats, error) {
 	m := tr.Model
 	cfg := tr.Cfg
 	g := newGrads(m)
 
 	var stats StepStats
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
 	if len(tr.Data) == 0 || cfg.BatchInputs <= 0 || cfg.GroupSize <= 0 {
 		// An empty corpus (or degenerate batch shape) used to panic
 		// with a divide-by-zero at the cursor modulus. Record an empty
 		// step so RewardHistory keeps one entry per Step.
 		tr.RewardHistory = append(tr.RewardHistory, 0)
-		return stats
+		return stats, nil
 	}
-	eng := tr.Engine
-	if eng == nil {
-		eng = vcache.Default
-	}
+	o := oracle.OrDefault(tr.Oracle)
 
 	// Assign this step's inputs up front; the cursor advances by the
 	// batch regardless of worker scheduling.
@@ -209,7 +223,7 @@ func (tr *Trainer) Step() StepStats {
 	// own grid slot, so the result is independent of worker count and
 	// interleaving.
 	grid := make([]episodeScore, cfg.BatchInputs*cfg.GroupSize)
-	vcache.ParallelFor(cfg.Workers, len(grid), func(i int) {
+	err := par.For(ctx, cfg.Workers, len(grid), func(i int) {
 		bi, gi := i/cfg.GroupSize, i%cfg.GroupSize
 		s := sampleAt[bi]
 		rng := rand.New(rand.NewSource(episodeSeed(tr.seed, base+bi, gi)))
@@ -218,7 +232,7 @@ func (tr *Trainer) Step() StepStats {
 			Rng:         rng,
 			Augmented:   cfg.Augmented,
 		})
-		j := JudgeWith(eng, ep, s, cfg.Verify)
+		j := JudgeWith(ctx, o, ep, s, cfg.Verify)
 		es := episodeScore{ep: ep, j: j}
 		switch cfg.Mode {
 		case ModeCorrectness, ModeCorrectnessCoT:
@@ -233,6 +247,10 @@ func (tr *Trainer) Step() StepStats {
 		es.r = es.rAnswer + es.rThink
 		grid[i] = es
 	})
+	if err != nil {
+		tr.cursor = base
+		return StepStats{}, err
+	}
 
 	// Everything below is sequential and walks the grid in its
 	// deterministic (batch, group) order: failure harvesting,
@@ -307,7 +325,7 @@ func (tr *Trainer) Step() StepStats {
 	}
 
 	stats.GradNorm = tr.apply(g)
-	return stats
+	return stats, nil
 }
 
 // advPair carries the per-component advantages.
@@ -469,11 +487,24 @@ func usedRules(m *policy.Model, ep *policy.Episode) []string {
 
 // Train runs n steps, returning the per-step stats.
 func (tr *Trainer) Train(n int) []StepStats {
-	out := make([]StepStats, n)
-	for i := 0; i < n; i++ {
-		out[i] = tr.Step()
-	}
+	out, _ := tr.TrainCtx(context.Background(), n)
 	return out
+}
+
+// TrainCtx runs up to n steps under ctx, returning the stats of the
+// steps that completed. On cancellation the aborted step leaves no
+// trace (see StepCtx) and the shortened stats slice is returned with
+// the context's error.
+func (tr *Trainer) TrainCtx(ctx context.Context, n int) ([]StepStats, error) {
+	out := make([]StepStats, 0, n)
+	for i := 0; i < n; i++ {
+		st, err := tr.StepCtx(ctx)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
 }
 
 // EMA smooths a series with the paper's 0.95 exponential moving

@@ -1,0 +1,170 @@
+// Package obs is the structured-observability core: run events are
+// emitted as JSON lines (one object per line) so a curriculum run,
+// an evaluation, or a CLI invocation can be traced, tailed, and
+// post-processed without scraping log text. The pipeline emits
+// stage_start/stage_end events with wall time, verdict-category
+// counters, cache hit/miss deltas, and reward-distribution summaries;
+// cmd/veriopt wires a Recorder behind its -trace flag.
+//
+// A nil *Recorder is a valid no-op sink, so instrumented code paths
+// never need to guard their emit calls.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"veriopt/internal/oracle"
+	"veriopt/internal/vcache"
+)
+
+// Event is one JSON-lines record. Kind is always set; the remaining
+// fields are populated per kind and omitted when empty, so consumers
+// can switch on kind and read only the sections they know.
+type Event struct {
+	// Seq is a per-recorder monotonically increasing sequence number.
+	Seq uint64 `json:"seq"`
+	// ElapsedMs is milliseconds since the recorder was created.
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Kind names the event: run_start, stage_start, stage_end, eval,
+	// run_end, interrupted, ...
+	Kind string `json:"kind"`
+	// Stage names the curriculum stage or evaluation target.
+	Stage string `json:"stage,omitempty"`
+	// Steps is the number of optimization steps a stage ran.
+	Steps int `json:"steps,omitempty"`
+	// WallMs is the wall-clock duration of the spanned work.
+	WallMs float64 `json:"wall_ms,omitempty"`
+	// Verdicts counts results per verdict-category name.
+	Verdicts map[string]uint64 `json:"verdicts,omitempty"`
+	// Cache carries verdict-cache hit/miss numbers.
+	Cache *CacheStats `json:"cache,omitempty"`
+	// Reward summarizes a reward series.
+	Reward *Summary `json:"reward,omitempty"`
+	// Note is a free-form human-readable annotation.
+	Note string `json:"note,omitempty"`
+	// Fields holds any additional named numbers.
+	Fields map[string]float64 `json:"fields,omitempty"`
+}
+
+// CacheStats is the cache section of an event — typically a delta
+// over the spanned interval, not process-lifetime totals.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions,omitempty"`
+	Canceled  uint64 `json:"canceled,omitempty"`
+}
+
+// Summary is a compact distribution of a float series.
+type Summary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	Last  float64 `json:"last"`
+}
+
+// Summarize builds a Summary of series, or nil for an empty series.
+func Summarize(series []float64) *Summary {
+	if len(series) == 0 {
+		return nil
+	}
+	s := &Summary{Count: len(series), Min: math.Inf(1), Max: math.Inf(-1), Last: series[len(series)-1]}
+	sorted := append([]float64(nil), series...)
+	sort.Float64s(sorted)
+	for _, v := range series {
+		s.Mean += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean /= float64(len(series))
+	s.P50 = sorted[len(sorted)/2]
+	return s
+}
+
+// Recorder serializes events to a writer as JSON lines. All methods
+// are safe for concurrent use and safe on a nil receiver (no-op), so
+// instrumentation can be left in place unconditionally.
+type Recorder struct {
+	mu    sync.Mutex
+	w     io.Writer
+	seq   uint64
+	start time.Time
+}
+
+// New builds a recorder writing to w. Events carry elapsed times
+// relative to this call.
+func New(w io.Writer) *Recorder {
+	return &Recorder{w: w, start: time.Now()}
+}
+
+// Emit stamps and writes one event. Serialization errors are
+// swallowed: tracing must never take down the run it observes.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	ev.Seq = r.seq
+	ev.ElapsedMs = float64(time.Since(r.start).Microseconds()) / 1000
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	r.w.Write(append(blob, '\n'))
+}
+
+// VerdictCounts converts an oracle stats snapshot into the event
+// verdict map, using the stable lowercase verdict names.
+func VerdictCounts(s oracle.Stats) map[string]uint64 {
+	names := [...]string{"equivalent", "semantic_error", "syntax_error", "inconclusive"}
+	out := make(map[string]uint64, len(names))
+	any := false
+	for i, n := range names {
+		out[n] = s.ByVerdict[i]
+		if s.ByVerdict[i] > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// DeltaVerdicts returns after-before per category (nil when nothing
+// happened in the interval).
+func DeltaVerdicts(before, after oracle.Stats) map[string]uint64 {
+	d := after
+	for i := range d.ByVerdict {
+		d.ByVerdict[i] -= before.ByVerdict[i]
+	}
+	return VerdictCounts(d)
+}
+
+// DeltaCache returns the cache-engine delta over an interval (nil
+// when no queries landed).
+func DeltaCache(before, after vcache.Stats) *CacheStats {
+	c := &CacheStats{
+		Hits:      after.Hits - before.Hits,
+		Misses:    after.Misses - before.Misses,
+		Evictions: after.Evictions - before.Evictions,
+		Canceled:  after.Canceled - before.Canceled,
+	}
+	if c.Hits == 0 && c.Misses == 0 && c.Evictions == 0 && c.Canceled == 0 {
+		return nil
+	}
+	return c
+}

@@ -1,0 +1,197 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/ir"
+	"veriopt/internal/vcache"
+)
+
+// srcKeyBound caps the per-cache-layer memo of source fingerprints.
+// Sources are the small, stable side of a query (the corpus
+// functions), so a few thousand entries covers any realistic run;
+// targets are freshly parsed throwaways and are never memoized.
+const srcKeyBound = 1 << 12
+
+// WithCache memoizes verdicts in eng, absorbing the former
+// vcache-engine behavior: whitespace-insensitive fingerprint keys,
+// singleflight deduplication of identical in-flight queries, bounded
+// FIFO eviction. Canceled results pass through uncached. Because the
+// cache sits outside the timeout/budget layers in the canonical
+// stack, a memoized verdict is served even when live solver work
+// would be refused.
+func WithCache(eng *vcache.Engine) Middleware {
+	c := &cacheLayer{eng: eng, srcKeys: make(map[*ir.Function]string)}
+	return func(next Oracle) Oracle {
+		return Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+			k := vcache.Key{Src: c.srcKey(src), Dst: vcache.KeyOfFunc(tgt), Opts: opts}
+			return c.eng.Do(ctx, k, func() alive.Result {
+				return next.Verify(ctx, src, tgt, opts)
+			})
+		})
+	}
+}
+
+// cacheLayer holds the source-fingerprint memo beside the engine. The
+// hot loops issue many queries against the same source function (a
+// GRPO group shares one input; greedy evaluation re-reads the corpus),
+// so rendering the source once per *ir.Function identity instead of
+// once per query recovers the precomputed-srcKey optimization the old
+// VerifyKeyed API had.
+type cacheLayer struct {
+	eng     *vcache.Engine
+	mu      sync.Mutex
+	srcKeys map[*ir.Function]string
+	fifo    []*ir.Function
+}
+
+func (c *cacheLayer) srcKey(src *ir.Function) string {
+	c.mu.Lock()
+	if k, ok := c.srcKeys[src]; ok {
+		c.mu.Unlock()
+		return k
+	}
+	c.mu.Unlock()
+	k := vcache.KeyOfFunc(src) // render outside the lock
+	c.mu.Lock()
+	if _, ok := c.srcKeys[src]; !ok {
+		for len(c.srcKeys) >= srcKeyBound && len(c.fifo) > 0 {
+			delete(c.srcKeys, c.fifo[0])
+			c.fifo = c.fifo[1:]
+		}
+		c.srcKeys[src] = k
+		c.fifo = append(c.fifo, src)
+	}
+	c.mu.Unlock()
+	return k
+}
+
+// WithTimeout bounds each query that reaches it with a per-query
+// deadline. Expired queries come back as Canceled Inconclusive
+// results (never cached). Wall-clock deadlines are load-dependent, so
+// this layer must not appear in stacks whose results feed the
+// deterministic training/evaluation contract.
+func WithTimeout(d time.Duration) Middleware {
+	return func(next Oracle) Oracle {
+		return Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+			tctx, cancel := context.WithTimeout(ctx, d)
+			defer cancel()
+			return next.Verify(tctx, src, tgt, opts)
+		})
+	}
+}
+
+// WithBudget admits at most max queries through to the inner oracle;
+// once spent, further queries return an Inconclusive "oracle budget
+// exhausted" verdict without running the solver. In the canonical
+// stack the budget sits inside the cache, so it bounds live solver
+// work, not total queries. Like a timeout, an exhausted budget makes
+// outcomes depend on query arrival order — keep it out of
+// deterministic training stacks.
+func WithBudget(max int64) Middleware {
+	var spent atomic.Int64
+	return func(next Oracle) Oracle {
+		return Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+			if spent.Add(1) > max {
+				spent.Add(-1) // not admitted; leave the counter at max
+				return alive.Result{Verdict: alive.Inconclusive,
+					Diag: fmt.Sprintf("ERROR: oracle budget exhausted (%d live queries)", max)}
+			}
+			return next.Verify(ctx, src, tgt, opts)
+		})
+	}
+}
+
+// Stats is a point-in-time snapshot of a StatsCollector.
+type Stats struct {
+	// Queries counts every query through the layer.
+	Queries uint64
+	// ByVerdict counts results per verdict category, indexed by
+	// alive.Verdict.
+	ByVerdict [4]uint64
+	// Canceled counts Canceled results (a subset of the Inconclusive
+	// bucket).
+	Canceled uint64
+	// Wall is cumulative time spent below this layer, summed across
+	// workers.
+	Wall time.Duration
+}
+
+// String renders the snapshot for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("oracle: %d queries (%d equivalent, %d semantic, %d syntax, %d inconclusive, %d canceled), %v wall",
+		s.Queries,
+		s.ByVerdict[alive.Equivalent], s.ByVerdict[alive.SemanticError],
+		s.ByVerdict[alive.SyntaxError], s.ByVerdict[alive.Inconclusive],
+		s.Canceled, s.Wall.Round(time.Millisecond))
+}
+
+// StatsCollector accumulates per-verdict counters; safe for
+// concurrent use. The zero value is ready.
+type StatsCollector struct {
+	queries   atomic.Uint64
+	byVerdict [4]atomic.Uint64
+	canceled  atomic.Uint64
+	wallNanos atomic.Int64
+}
+
+// Snapshot returns the current counter values.
+func (c *StatsCollector) Snapshot() Stats {
+	s := Stats{
+		Queries:  c.queries.Load(),
+		Canceled: c.canceled.Load(),
+		Wall:     time.Duration(c.wallNanos.Load()),
+	}
+	for i := range s.ByVerdict {
+		s.ByVerdict[i] = c.byVerdict[i].Load()
+	}
+	return s
+}
+
+// WithStats counts every query's verdict category and wall time into
+// c. Placed outermost in the canonical stack so the counters cover
+// cache hits too — they are the per-query verdict distribution, not
+// the solver workload (the cache engine's own stats cover that).
+func WithStats(c *StatsCollector) Middleware {
+	return func(next Oracle) Oracle {
+		return Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+			c.queries.Add(1)
+			t0 := time.Now()
+			res := next.Verify(ctx, src, tgt, opts)
+			c.wallNanos.Add(int64(time.Since(t0)))
+			if res.Verdict >= 0 && int(res.Verdict) < len(c.byVerdict) {
+				c.byVerdict[res.Verdict].Add(1)
+			}
+			if res.Canceled {
+				c.canceled.Add(1)
+			}
+			return res
+		})
+	}
+}
+
+// FaultFunc decides whether to inject a result for the n-th query (n
+// is 1-based) instead of running the inner oracle. Returning ok=false
+// passes the query through.
+type FaultFunc func(n uint64, src, tgt *ir.Function, opts alive.Options) (res alive.Result, ok bool)
+
+// WithFaultInjection intercepts queries with fn — the test seam for
+// verifier flakes: simulated budget exhaustion, wrong verdicts,
+// cancellations, or slow paths, injected deterministically by query
+// ordinal without touching the solver.
+func WithFaultInjection(fn FaultFunc) Middleware {
+	var n atomic.Uint64
+	return func(next Oracle) Oracle {
+		return Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+			if res, ok := fn(n.Add(1), src, tgt, opts); ok {
+				return res
+			}
+			return next.Verify(ctx, src, tgt, opts)
+		})
+	}
+}

@@ -1,0 +1,156 @@
+// Package oracle is the composable verification stack: every
+// component that needs a verdict — GRPO rewards, pipeline evaluation,
+// the curriculum stages, and the CLIs — asks an Oracle instead of
+// wiring itself to the SAT-backed checker or the verdict cache
+// directly. The paper puts the verifier inside the RL loop (Eq. 1–2);
+// this package is the seam that makes that verifier swappable,
+// cacheable, cancelable, budgetable, and observable without touching
+// the loops themselves.
+//
+// An Oracle is one method:
+//
+//	Verify(ctx, src, tgt, opts) alive.Result
+//
+// Concerns stack as middleware around the base SAT-backed verifier.
+// The canonical order, outermost first (pinned by tests):
+//
+//	WithStats → WithCache → WithBudget → WithTimeout → WithFaultInjection → Base
+//
+// Stats outermost so verdict counters see every query including cache
+// hits; the cache outside the limits so a memoized verdict is served
+// even when the timeout or budget would refuse live solver work; the
+// limits outside fault injection so injected faults are subject to
+// them in tests.
+package oracle
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/ir"
+	"veriopt/internal/vcache"
+)
+
+// Oracle answers verification queries: does tgt refine src under the
+// given limits? Implementations must be safe for concurrent use and
+// must honor ctx by returning a Canceled result promptly once it
+// ends.
+type Oracle interface {
+	Verify(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result
+}
+
+// Func adapts a plain function to the Oracle interface.
+type Func func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result
+
+// Verify implements Oracle.
+func (f Func) Verify(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+	return f(ctx, src, tgt, opts)
+}
+
+// Middleware wraps an Oracle with one additional concern.
+type Middleware func(Oracle) Oracle
+
+// Base returns the raw SAT-backed verifier (internal/alive) with no
+// cache, limits, or counters.
+func Base() Oracle {
+	return Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+		return alive.VerifyFuncsCtx(ctx, src, tgt, opts)
+	})
+}
+
+// Config assembles the standard stack. The zero value builds the
+// default production shape: stats over a default-sized cache over the
+// base verifier, with no timeout, budget, or fault layer.
+type Config struct {
+	// CacheEntries bounds the verdict cache (<= 0 selects
+	// vcache.DefaultMaxEntries).
+	CacheEntries int
+	// Timeout bounds each live verification query (0 = none). Timeout
+	// verdicts are Canceled and therefore never cached, so a stack
+	// with a timeout is NOT deterministic under load — keep it out of
+	// training stacks whose results must be reproducible.
+	Timeout time.Duration
+	// Budget bounds the number of live verifier runs admitted through
+	// the stack (0 = unlimited); see WithBudget.
+	Budget int64
+	// Fault, when non-nil, is installed innermost for tests; see
+	// WithFaultInjection.
+	Fault FaultFunc
+	// Base overrides the bottom of the stack (nil selects Base()).
+	Base Oracle
+}
+
+// Stack is the assembled oracle plus handles to its introspectable
+// layers: the verdict cache's engine and the stats collector. It
+// implements Oracle itself.
+type Stack struct {
+	Oracle
+	// Engine is the verdict cache behind WithCache.
+	Engine *vcache.Engine
+	// Stats is the outermost per-verdict counter layer.
+	Stats *StatsCollector
+}
+
+// OracleStats implements StatsSource.
+func (s *Stack) OracleStats() (Stats, vcache.Stats) {
+	return s.Stats.Snapshot(), s.Engine.Stats()
+}
+
+// StatsSource is implemented by oracles that can report their own
+// counters (notably *Stack); consumers like the pipeline's
+// observability hooks use it to attach cache and verdict numbers to
+// events without knowing the stack's shape.
+type StatsSource interface {
+	OracleStats() (Stats, vcache.Stats)
+}
+
+// NewStack assembles the canonical middleware stack for cfg.
+func NewStack(cfg Config) *Stack {
+	base := cfg.Base
+	if base == nil {
+		base = Base()
+	}
+	o := base
+	if cfg.Fault != nil {
+		o = WithFaultInjection(cfg.Fault)(o)
+	}
+	if cfg.Timeout > 0 {
+		o = WithTimeout(cfg.Timeout)(o)
+	}
+	if cfg.Budget > 0 {
+		o = WithBudget(cfg.Budget)(o)
+	}
+	eng := vcache.New(vcache.Config{MaxEntries: cfg.CacheEntries})
+	o = WithCache(eng)(o)
+	st := &StatsCollector{}
+	o = WithStats(st)(o)
+	return &Stack{Oracle: o, Engine: eng, Stats: st}
+}
+
+var (
+	defaultOnce  sync.Once
+	defaultStack *Stack
+)
+
+// Default returns the process-wide stack used when a caller does not
+// supply its own oracle. Verdicts are pure, so sharing one cache
+// across trainer stages, evaluation runs, and CLIs is always sound
+// and maximizes reuse (greedy evaluation re-proves the same outputs
+// across curriculum stages).
+func Default() *Stack {
+	defaultOnce.Do(func() { defaultStack = NewStack(Config{}) })
+	return defaultStack
+}
+
+// OrDefault resolves the "nil means the shared default" convention in
+// one place: every config struct that carries an optional Oracle
+// (grpo.Trainer, pipeline.EvalConfig, pipeline.StageConfig) funnels
+// through here, so a future change of the default has one home.
+func OrDefault(o Oracle) Oracle {
+	if o == nil {
+		return Default()
+	}
+	return o
+}

@@ -1,0 +1,71 @@
+// Package par provides the worker-pool primitives shared by the
+// verification and training fan-outs (pipeline.Evaluate, the GRPO
+// rollout grid, and the CLIs). It used to live inside internal/vcache;
+// it was split out so the verdict cache stays a cache and every layer
+// that needs index-parallel work takes it from one place.
+//
+// Both entry points preserve the repo's determinism contract: fn
+// writes go to index-disjoint slots, so results are identical at any
+// worker count.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFor runs fn(0..n-1) across the given number of workers,
+// returning when all calls complete. workers <= 0 selects
+// runtime.NumCPU(); workers == 1 (or n <= 1) runs inline with no
+// goroutines. fn must be safe to call concurrently; writes should go
+// to index-disjoint slots so results are identical at any worker
+// count.
+func ParallelFor(workers, n int, fn func(i int)) {
+	For(context.Background(), workers, n, fn)
+}
+
+// For is ParallelFor with cooperative cancellation: once ctx is done,
+// no new indices are dispatched; in-flight calls run to completion
+// (fn is responsible for observing ctx itself if it can block). All
+// workers have exited by the time For returns, so a canceled call
+// leaks no goroutines. Returns ctx.Err() when the loop was cut short,
+// nil when every index ran.
+func For(ctx context.Context, workers, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,21 +1,27 @@
 package pipeline
 
 import (
+	"context"
 	"math"
 	"testing"
+	"time"
 
+	"veriopt/internal/alive"
 	"veriopt/internal/costmodel"
-	"veriopt/internal/vcache"
+	"veriopt/internal/dataset"
+	"veriopt/internal/ir"
+	"veriopt/internal/oracle"
 )
 
 // TestEvaluateIdenticalAcrossWorkers: greedy evaluation must produce
 // a byte-identical report at any worker count (tentpole acceptance
-// criterion). Private engines keep the runs cache-independent too.
+// criterion). Private oracle stacks keep the runs cache-independent
+// too.
 func TestEvaluateIdenticalAcrossWorkers(t *testing.T) {
 	res, val := smallRun(t)
 	vo := EvalOptions()
-	r1 := EvaluateWith(res.Latency, val, false, EvalConfig{Verify: vo, Workers: 1, Engine: vcache.New(vcache.Config{})})
-	r4 := EvaluateWith(res.Latency, val, false, EvalConfig{Verify: vo, Workers: 4, Engine: vcache.New(vcache.Config{})})
+	r1 := EvaluateWith(res.Latency, val, false, EvalConfig{Verify: vo, Workers: 1, Oracle: oracle.NewStack(oracle.Config{})})
+	r4 := EvaluateWith(res.Latency, val, false, EvalConfig{Verify: vo, Workers: 4, Oracle: oracle.NewStack(oracle.Config{})})
 
 	if r1.Correct != r4.Correct || r1.Copies != r4.Copies || r1.Semantic != r4.Semantic ||
 		r1.Syntax != r4.Syntax || r1.Inconclusive != r4.Inconclusive {
@@ -34,17 +40,91 @@ func TestEvaluateIdenticalAcrossWorkers(t *testing.T) {
 // over the same samples must be answered from the verdict cache.
 func TestEvaluateCacheSharing(t *testing.T) {
 	res, val := smallRun(t)
-	eng := vcache.New(vcache.Config{})
-	cfg := EvalConfig{Verify: EvalOptions(), Workers: 4, Engine: eng}
+	st := oracle.NewStack(oracle.Config{})
+	cfg := EvalConfig{Verify: EvalOptions(), Workers: 4, Oracle: st}
 	EvaluateWith(res.Latency, val, false, cfg)
-	miss := eng.Stats().Misses
+	miss := st.Engine.Stats().Misses
 	EvaluateWith(res.Latency, val, false, cfg)
-	s := eng.Stats()
+	s := st.Engine.Stats()
 	if s.Misses != miss {
 		t.Fatalf("re-evaluation ran the solver again: %+v", s)
 	}
 	if s.Hits == 0 {
 		t.Fatalf("no cache hits recorded: %+v", s)
+	}
+}
+
+// TestEvaluateCancellationPartialReport: canceling mid-Evaluate must
+// return promptly with a partial report — evaluated samples keep
+// results, unreached ones are counted Skipped and excluded from every
+// aggregate, and no goroutine stays wedged.
+func TestEvaluateCancellationPartialReport(t *testing.T) {
+	res, val := smallRun(t)
+	started := make(chan struct{}, 1)
+	blocking := oracle.Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-ctx.Done()
+		return alive.CanceledResult(ctx.Err())
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		rep *Report
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rep, err := EvaluateCtx(ctx, res.Latency, val, false,
+			EvalConfig{Verify: EvalOptions(), Workers: 2, Oracle: blocking})
+		done <- outcome{rep, err}
+	}()
+	<-started
+	cancel()
+	select {
+	case o := <-done:
+		if o.err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", o.err)
+		}
+		if len(o.rep.Results) != len(val) {
+			t.Fatalf("results slice resized: %d vs %d samples", len(o.rep.Results), len(val))
+		}
+		if o.rep.Total()+o.rep.Skipped != len(val) {
+			t.Fatalf("Total %d + Skipped %d != %d", o.rep.Total(), o.rep.Skipped, len(val))
+		}
+		// Every aggregate must tolerate the nil slots of a partial report.
+		OutcomesVsO0(o.rep, MetricLatency)
+		VsInstCombine(o.rep, MetricLatency)
+		GeomeanRatio(o.rep, MetricSize)
+		RefGeomeanSpeedup(o.rep)
+		HybridGeomeanGain(o.rep, MetricICount)
+		_ = o.rep.DifferentCorrectFrac()
+	case <-time.After(10 * time.Second):
+		t.Fatal("EvaluateCtx did not return promptly after cancel")
+	}
+}
+
+// TestRunCtxCancellationPartialResult: a canceled curriculum returns
+// the completed stages and leaves the interrupted ones nil.
+func TestRunCtxCancellationPartialResult(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	samples, err := dataset.Generate(dataset.Config{Seed: 5, N: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultStageConfig()
+	cfg.Stage1Steps, cfg.Stage2Steps, cfg.Stage3Steps = 2, 2, 2
+	res, err := RunCtx(ctx, samples, cfg)
+	if err == nil {
+		t.Fatal("pre-canceled RunCtx returned nil error")
+	}
+	if res == nil || res.Base == nil {
+		t.Fatal("canceled RunCtx returned no partial result")
+	}
+	if res.ModelZero != nil || res.Latency != nil {
+		t.Fatal("canceled run claims completed stages")
 	}
 }
 

@@ -4,6 +4,7 @@
 package pipeline
 
 import (
+	"context"
 	"math"
 
 	"veriopt/internal/alive"
@@ -11,8 +12,9 @@ import (
 	"veriopt/internal/dataset"
 	"veriopt/internal/grpo"
 	"veriopt/internal/ir"
+	"veriopt/internal/oracle"
+	"veriopt/internal/par"
 	"veriopt/internal/policy"
-	"veriopt/internal/vcache"
 )
 
 // SampleResult is one evaluated function.
@@ -35,6 +37,9 @@ type SampleResult struct {
 // Report aggregates an evaluation run, mirroring the verdict
 // categories of Tables I/II.
 type Report struct {
+	// Results holds one entry per sample. Entries are nil for samples
+	// never evaluated because the run was canceled; they are excluded
+	// from every tally and aggregate metric and counted in Skipped.
 	Results []*SampleResult
 
 	Correct      int
@@ -42,10 +47,14 @@ type Report struct {
 	Semantic     int
 	Syntax       int
 	Inconclusive int
+	// Skipped counts the samples a canceled run never reached. A
+	// complete run has Skipped == 0.
+	Skipped int
 }
 
-// Total returns the number of evaluated samples.
-func (r *Report) Total() int { return len(r.Results) }
+// Total returns the number of evaluated samples (skipped samples of a
+// canceled run are not evaluated).
+func (r *Report) Total() int { return len(r.Results) - r.Skipped }
 
 // DifferentCorrectFrac is the paper's headline metric: verified
 // outputs that actually differ from the input.
@@ -72,36 +81,44 @@ type EvalConfig struct {
 	// runtime.NumCPU()). Greedy generation is deterministic per
 	// sample, so the report is byte-identical at any worker count.
 	Workers int
-	// Engine memoizes verdicts; nil selects the process-wide
-	// vcache.Default.
-	Engine *vcache.Engine
+	// Oracle answers the verification queries; nil selects the shared
+	// default stack (oracle.Default).
+	Oracle oracle.Oracle
 }
 
 // Evaluate runs the model greedily (deterministic, §IV-B) over the
 // samples, verifying each output and applying the fallback rule.
 // Samples are evaluated in parallel across runtime.NumCPU() workers;
 // use EvaluateWith to control the worker count or supply a private
-// verdict cache.
+// oracle, and EvaluateCtx to make the run cancelable.
 func Evaluate(m *policy.Model, samples []*dataset.Sample, augmented bool, vo alive.Options) *Report {
 	return EvaluateWith(m, samples, augmented, EvalConfig{Verify: vo})
 }
 
-// EvaluateWith is Evaluate with explicit concurrency and caching
-// knobs. Each sample is independent (greedy generation reads only
-// immutable model state), so the fan-out is embarrassingly parallel;
-// results land in per-sample slots and the verdict tallies are summed
-// sequentially afterwards, keeping the report identical at any worker
-// count.
+// EvaluateWith is Evaluate with explicit concurrency and oracle
+// knobs.
 func EvaluateWith(m *policy.Model, samples []*dataset.Sample, augmented bool, cfg EvalConfig) *Report {
-	eng := cfg.Engine
-	if eng == nil {
-		eng = vcache.Default
-	}
+	rep, _ := EvaluateCtx(context.Background(), m, samples, augmented, cfg)
+	return rep
+}
+
+// EvaluateCtx is the cancelable evaluation run. Each sample is
+// independent (greedy generation reads only immutable model state),
+// so the fan-out is embarrassingly parallel; results land in
+// per-sample slots and the verdict tallies are summed sequentially
+// afterwards, keeping the report identical at any worker count.
+//
+// When ctx ends mid-run, EvaluateCtx returns promptly with a partial
+// report — evaluated samples keep their results, unreached samples
+// stay nil in Results and are counted in Skipped — plus the context's
+// error. Canceled in-flight verdicts land in the Inconclusive bucket.
+func EvaluateCtx(ctx context.Context, m *policy.Model, samples []*dataset.Sample, augmented bool, cfg EvalConfig) (*Report, error) {
+	o := oracle.OrDefault(cfg.Oracle)
 	rep := &Report{Results: make([]*SampleResult, len(samples))}
-	vcache.ParallelFor(cfg.Workers, len(samples), func(i int) {
+	err := par.For(ctx, cfg.Workers, len(samples), func(i int) {
 		s := samples[i]
 		ep := m.Generate(s.O0, policy.GenOptions{Augmented: augmented})
-		j := grpo.JudgeWith(eng, ep, s, cfg.Verify)
+		j := grpo.JudgeWith(ctx, o, ep, s, cfg.Verify)
 		res := &SampleResult{
 			Sample:  s,
 			Verdict: j.FinalVerdict.Verdict,
@@ -121,6 +138,10 @@ func EvaluateWith(m *policy.Model, samples []*dataset.Sample, augmented bool, cf
 		rep.Results[i] = res
 	})
 	for _, res := range rep.Results {
+		if res == nil {
+			rep.Skipped++
+			continue
+		}
 		switch res.Verdict {
 		case alive.Equivalent:
 			rep.Correct++
@@ -135,7 +156,7 @@ func EvaluateWith(m *policy.Model, samples []*dataset.Sample, augmented bool, cf
 			rep.Inconclusive++
 		}
 	}
-	return rep
+	return rep, err
 }
 
 // Metric selects one of the paper's three efficiency metrics.
@@ -180,6 +201,9 @@ func OutcomesVsO0(rep *Report, m Metric) Outcomes {
 	var o Outcomes
 	sum, n := 0.0, 0
 	for _, r := range rep.Results {
+		if r == nil {
+			continue
+		}
 		base := metricOf(r.Base, m)
 		out := metricOf(r.Out, m)
 		switch {
@@ -209,6 +233,9 @@ func GeomeanRatio(rep *Report, m Metric) float64 {
 	logSum := 0.0
 	n := 0
 	for _, r := range rep.Results {
+		if r == nil {
+			continue
+		}
 		base := metricOf(r.Base, m)
 		out := metricOf(r.Out, m)
 		if base <= 0 || out <= 0 {
@@ -235,6 +262,9 @@ func RefGeomeanSpeedup(rep *Report) float64 {
 	logSum := 0.0
 	n := 0
 	for _, r := range rep.Results {
+		if r == nil {
+			continue
+		}
 		b, ref := r.Base.Latency, r.Ref.Latency
 		if b <= 0 || ref <= 0 {
 			continue
@@ -254,6 +284,9 @@ func VsInstCombine(rep *Report, m Metric) Outcomes {
 	var o Outcomes
 	sum, n := 0.0, 0
 	for _, r := range rep.Results {
+		if r == nil {
+			continue
+		}
 		ref := metricOf(r.Ref, m)
 		out := metricOf(r.Out, m)
 		switch {
@@ -285,6 +318,9 @@ func HybridGeomeanGain(rep *Report, m Metric) float64 {
 	logSum := 0.0
 	n := 0
 	for _, r := range rep.Results {
+		if r == nil {
+			continue
+		}
 		ref := metricOf(r.Ref, m)
 		out := metricOf(r.Out, m)
 		best := ref

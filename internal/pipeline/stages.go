@@ -1,9 +1,14 @@
 package pipeline
 
 import (
+	"context"
+	"time"
+
 	"veriopt/internal/alive"
 	"veriopt/internal/dataset"
 	"veriopt/internal/grpo"
+	"veriopt/internal/obs"
+	"veriopt/internal/oracle"
 	"veriopt/internal/policy"
 	"veriopt/internal/sft"
 	"veriopt/internal/vcache"
@@ -33,9 +38,13 @@ type StageConfig struct {
 	// step and checkpoint evaluation (<= 0 selects runtime.NumCPU()).
 	// The curriculum result is bit-identical at any worker count.
 	Workers int
-	// Engine memoizes verification verdicts across all stages; nil
-	// selects the process-wide vcache.Default.
-	Engine *vcache.Engine
+	// Oracle answers verification queries for all stages; nil selects
+	// the shared default stack (oracle.Default), whose cache memoizes
+	// verdicts across stages.
+	Oracle oracle.Oracle
+	// Obs, when non-nil, receives stage_start/stage_end trace events
+	// with wall time, verdict/cache deltas, and reward summaries.
+	Obs *obs.Recorder
 }
 
 // DefaultStageConfig returns the reduced-scale defaults.
@@ -55,7 +64,9 @@ func DefaultStageConfig() StageConfig {
 }
 
 // Result bundles the four curriculum models and their training
-// traces.
+// traces. A canceled RunCtx returns it partially filled: the model of
+// the interrupted stage (and of the stages after it) stays nil, while
+// every completed stage keeps its model and history.
 type Result struct {
 	Base        *policy.Model // untrained foundation model
 	ModelZero   *policy.Model
@@ -63,7 +74,8 @@ type Result struct {
 	Correctness *policy.Model
 	Latency     *policy.Model
 
-	// Reward histories per stage (Fig. 4 raw series).
+	// Reward histories per stage (Fig. 4 raw series). Present for the
+	// interrupted stage too, truncated at the canceled step.
 	ZeroHistory        []float64
 	CorrectnessHistory []float64
 	LatencyHistory     []float64
@@ -73,40 +85,104 @@ type Result struct {
 	SFTStats sft.Stats
 }
 
-// devEval scores a model for checkpoint selection: the paper's
+// stageSpan instruments one curriculum stage for the trace: it
+// snapshots the oracle's counters at stage start so stage_end can
+// carry the per-stage deltas rather than process-lifetime totals.
+type stageSpan struct {
+	rec  *obs.Recorder
+	name string
+	t0   time.Time
+	src  oracle.StatsSource
+	os0  oracle.Stats
+	cs0  vcache.Stats
+}
+
+func beginStage(rec *obs.Recorder, o oracle.Oracle, name string) *stageSpan {
+	sp := &stageSpan{rec: rec, name: name, t0: time.Now()}
+	if src, ok := o.(oracle.StatsSource); ok {
+		sp.src = src
+		sp.os0, sp.cs0 = src.OracleStats()
+	}
+	rec.Emit(obs.Event{Kind: "stage_start", Stage: name})
+	return sp
+}
+
+func (sp *stageSpan) end(steps int, rewards []float64, note string) {
+	ev := obs.Event{
+		Kind:   "stage_end",
+		Stage:  sp.name,
+		Steps:  steps,
+		WallMs: float64(time.Since(sp.t0).Microseconds()) / 1000,
+		Reward: obs.Summarize(rewards),
+		Note:   note,
+	}
+	if sp.src != nil {
+		os1, cs1 := sp.src.OracleStats()
+		ev.Verdicts = obs.DeltaVerdicts(sp.os0, os1)
+		ev.Cache = obs.DeltaCache(sp.cs0, cs1)
+	}
+	sp.rec.Emit(ev)
+}
+
+// devEvalCtx scores a model for checkpoint selection: the paper's
 // headline different-correct fraction, with geomean speedup (which
 // already embeds the fallback-to-O0 correctness penalty) breaking
 // ties.
-func devEval(m *policy.Model, dev []*dataset.Sample, augmented bool, ec EvalConfig) float64 {
+func devEvalCtx(ctx context.Context, m *policy.Model, dev []*dataset.Sample, augmented bool, ec EvalConfig) (float64, error) {
 	ec.Verify = alive.Options{MaxPaths: 256, MaxSteps: 2048, SolverBudget: 30000}
-	rep := EvaluateWith(m, dev, augmented, ec)
-	return 2*rep.DifferentCorrectFrac() + GeomeanSpeedup(rep)/100
+	rep, err := EvaluateCtx(ctx, m, dev, augmented, ec)
+	if err != nil {
+		return 0, err
+	}
+	return 2*rep.DifferentCorrectFrac() + GeomeanSpeedup(rep)/100, nil
 }
 
 // trainWithCheckpoints runs GRPO, evaluating on the dev split every
 // evalEvery steps and returning the best checkpoint (the paper's
-// "selecting the best checkpoint for evaluation").
-func trainWithCheckpoints(tr *grpo.Trainer, steps, evalEvery int, dev []*dataset.Sample, augmented bool, ec EvalConfig) *policy.Model {
+// "selecting the best checkpoint for evaluation"). On cancellation it
+// returns the best checkpoint seen so far with the context's error.
+func trainWithCheckpoints(ctx context.Context, tr *grpo.Trainer, steps, evalEvery int, dev []*dataset.Sample, augmented bool, ec EvalConfig) (*policy.Model, error) {
 	best := tr.Model.Clone()
-	bestScore := devEval(best, dev, augmented, ec)
+	bestScore, err := devEvalCtx(ctx, best, dev, augmented, ec)
+	if err != nil {
+		return best, err
+	}
 	for i := 0; i < steps; i++ {
-		tr.Step()
+		if _, err := tr.StepCtx(ctx); err != nil {
+			return best, err
+		}
 		if (i+1)%evalEvery == 0 || i == steps-1 {
-			if score := devEval(tr.Model, dev, augmented, ec); score > bestScore {
+			score, err := devEvalCtx(ctx, tr.Model, dev, augmented, ec)
+			if err != nil {
+				return best, err
+			}
+			if score > bestScore {
 				bestScore = score
 				best = tr.Model.Clone()
 			}
 		}
 	}
-	return best
+	return best, nil
 }
 
 // Run executes the full curriculum on the training samples.
 func Run(train []*dataset.Sample, cfg StageConfig) *Result {
+	res, _ := RunCtx(context.Background(), train, cfg)
+	return res
+}
+
+// RunCtx executes the curriculum under a cancelable context. When ctx
+// ends, the in-flight stage aborts promptly (see grpo.Trainer.StepCtx
+// and EvaluateCtx), the partial Result accumulated so far is returned
+// with the context's error, and the interrupted stage's model is left
+// nil — its history, and every completed stage's model, survive for
+// partial reporting.
+func RunCtx(ctx context.Context, train []*dataset.Sample, cfg StageConfig) (*Result, error) {
 	res := &Result{}
 	res.Base = policy.New(cfg.Capacity, cfg.Seed)
 	cfg.GRPO.Workers = cfg.Workers
-	ec := EvalConfig{Workers: cfg.Workers, Engine: cfg.Engine}
+	o := oracle.OrDefault(cfg.Oracle)
+	ec := EvalConfig{Workers: cfg.Workers, Oracle: o}
 	// Hold out a slice of the training set for checkpoint selection
 	// (never the validation set).
 	devN := len(train) / 5
@@ -118,29 +194,42 @@ func Run(train []*dataset.Sample, cfg StageConfig) *Result {
 	// Stage 1: Model Zero — raw GRPO with the generic prompt. Its
 	// training space, validated by the checker, yields the
 	// diagnostic-augmented corpus.
+	sp := beginStage(cfg.Obs, o, "model-zero")
 	zero := res.Base.Clone()
 	c1 := cfg.GRPO
 	c1.Mode = grpo.ModeCorrectness
 	c1.Augmented = false
 	t1 := grpo.NewTrainer(zero, train, c1, cfg.Seed+101)
-	t1.Engine = cfg.Engine
+	t1.Oracle = o
 	t1.CollectFailures = true
-	t1.Train(cfg.Stage1Steps)
-	res.ModelZero = zero
+	_, err := t1.TrainCtx(ctx, cfg.Stage1Steps)
 	res.ZeroHistory = t1.RewardHistory
 	res.Failures = t1.Failures
+	if err != nil {
+		sp.end(len(t1.RewardHistory), t1.RewardHistory, "canceled")
+		return res, err
+	}
+	sp.end(cfg.Stage1Steps, t1.RewardHistory, "")
+	res.ModelZero = zero
 
 	// Stage 2a: Warm-up — SFT from the *base* model (Model Zero is
 	// only the sample generator, §III-C1) on first-time and
 	// correction-augmented samples.
+	sp = beginStage(cfg.Obs, o, "warm-up")
 	warm := res.Base.Clone()
 	sftCfg := cfg.SFT
 	sftCfg.Epochs = cfg.WarmupEpochs
-	res.SFTStats = sft.WarmUp(warm, train, res.Failures, sftCfg)
+	res.SFTStats, err = sft.WarmUpCtx(ctx, warm, train, res.Failures, sftCfg)
+	if err != nil {
+		sp.end(res.SFTStats.CloneSteps, nil, "canceled")
+		return res, err
+	}
+	sp.end(res.SFTStats.CloneSteps, nil, "")
 	res.WarmUp = warm
 
 	// Stage 2b: Model-Correctness — GRPO with augmented prompts,
 	// Eq. 1 + Eq. 2.
+	sp = beginStage(cfg.Obs, o, "model-correctness")
 	corr := warm.Clone()
 	c2 := cfg.GRPO
 	c2.Mode = grpo.ModeCorrectnessCoT
@@ -152,12 +241,19 @@ func Run(train []*dataset.Sample, cfg StageConfig) *Result {
 	c2.GroupSize = cfg.GRPO.GroupSize + 2
 	c2.ClipNorm = cfg.GRPO.ClipNorm / 2
 	t2 := grpo.NewTrainer(corr, train, c2, cfg.Seed+202)
-	t2.Engine = cfg.Engine
-	res.Correctness = trainWithCheckpoints(t2, cfg.Stage2Steps, 10, dev, true, ec)
+	t2.Oracle = o
+	best2, err := trainWithCheckpoints(ctx, t2, cfg.Stage2Steps, 10, dev, true, ec)
 	res.CorrectnessHistory = t2.RewardHistory
+	if err != nil {
+		sp.end(len(t2.RewardHistory), t2.RewardHistory, "canceled")
+		return res, err
+	}
+	sp.end(cfg.Stage2Steps, t2.RewardHistory, "")
+	res.Correctness = best2
 
 	// Stage 3: Model-Latency — incremental GRPO with the latency
 	// reward; instcombine labels and the think-protocol are dropped.
+	sp = beginStage(cfg.Obs, o, "model-latency")
 	lat := res.Correctness.Clone()
 	res.UMax = grpo.ComputeUMax(train, cfg.UMaxPercentile)
 	c3 := cfg.GRPO
@@ -165,11 +261,17 @@ func Run(train []*dataset.Sample, cfg StageConfig) *Result {
 	c3.Augmented = false
 	c3.Latency = grpo.LatencyRewardParams{UMax: res.UMax, Gamma: cfg.Gamma}
 	t3 := grpo.NewTrainer(lat, train, c3, cfg.Seed+303)
-	t3.Engine = cfg.Engine
-	res.Latency = trainWithCheckpoints(t3, cfg.Stage3Steps, 10, dev, false, ec)
+	t3.Oracle = o
+	best3, err := trainWithCheckpoints(ctx, t3, cfg.Stage3Steps, 10, dev, false, ec)
 	res.LatencyHistory = t3.RewardHistory
+	if err != nil {
+		sp.end(len(t3.RewardHistory), t3.RewardHistory, "canceled")
+		return res, err
+	}
+	sp.end(cfg.Stage3Steps, t3.RewardHistory, "")
+	res.Latency = best3
 
-	return res
+	return res, nil
 }
 
 // EvalOptions returns the verifier options used for evaluation runs.

@@ -9,6 +9,8 @@
 package sft
 
 import (
+	"context"
+
 	"veriopt/internal/dataset"
 	"veriopt/internal/grpo"
 	"veriopt/internal/ir"
@@ -92,11 +94,25 @@ type Stats struct {
 // instcombine label) and diagnostic training from correction-augmented
 // samples (Model Zero failures with their true verifier feedback).
 func WarmUp(m *policy.Model, samples []*dataset.Sample, failures []*grpo.FailureSample, cfg Config) Stats {
+	st, _ := WarmUpCtx(context.Background(), m, samples, failures, cfg)
+	return st
+}
+
+// WarmUpCtx is WarmUp under a cancelable context, polled once per
+// sample so a SIGINT mid-warm-up returns within one teacher
+// trajectory. The model is updated in place, so a canceled warm-up
+// leaves a partially-trained model — callers abandon it (the
+// curriculum stops on cancellation) rather than treat it as a
+// finished stage.
+func WarmUpCtx(ctx context.Context, m *policy.Model, samples []*dataset.Sample, failures []*grpo.FailureSample, cfg Config) (Stats, error) {
 	var st Stats
 	matches := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		// First-time augmented samples: clone the teacher.
 		for _, s := range samples {
+			if err := ctx.Err(); err != nil {
+				return st, err
+			}
 			recs, reached := TeacherTrajectory(m, s.O0)
 			if epoch == 0 {
 				if ir.FingerprintText(reached) == ir.FingerprintText(s.RefText) {
@@ -117,6 +133,9 @@ func WarmUp(m *policy.Model, samples []*dataset.Sample, failures []*grpo.Failure
 		// and the error subclass, and — the corrective half of Fig. 2 —
 		// a margin against the actions the diagnostic blamed.
 		for _, fs := range failures {
+			if err := ctx.Err(); err != nil {
+				return st, err
+			}
 			h := m.HashFeatures(ir.CanonicalText(fs.Sample.O0))
 			recs := reconstructRecords(m, fs)
 			trainDiag(m, h, recs, fs.TrueClass, fs.TrueDiag, cfg.LR)
@@ -132,7 +151,7 @@ func WarmUp(m *policy.Model, samples []*dataset.Sample, failures []*grpo.Failure
 	if len(samples) > 0 {
 		st.TeacherMatchFrac = float64(matches) / float64(len(samples))
 	}
-	return st
+	return st, nil
 }
 
 // cloneStep applies one cross-entropy gradient step toward the

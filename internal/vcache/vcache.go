@@ -1,7 +1,7 @@
-// Package vcache provides the concurrent verification engine: a
-// thread-safe, memoized verdict store over the Alive-style checker
-// (internal/alive) plus the worker-pool fan-out used by the two hot
-// loops (pipeline.Evaluate and the GRPO group rollouts).
+// Package vcache is the memoized verdict store behind the oracle
+// stack (internal/oracle): a thread-safe, bounded cache of
+// verification results with singleflight deduplication of identical
+// in-flight queries.
 //
 // Verification is a pure function of (source, target, Options), so
 // verdicts are cached under the key
@@ -14,11 +14,16 @@
 // bounded; eviction is FIFO, which is close enough to LRU for the
 // training access pattern (groups of near-identical rollouts arrive
 // together, curriculum stages re-prove recent outputs).
+//
+// vcache is deliberately only a cache: it never invokes the verifier
+// itself (the compute callback passed to Do does) and it owns no
+// scheduling — the worker pool lives in internal/par, and the
+// composition of cache, limits, and stats lives in internal/oracle.
 package vcache
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -56,17 +61,20 @@ type Stats struct {
 	// Hits counts requests answered from the cache, including those
 	// deduplicated against an identical in-flight query.
 	Hits uint64
-	// Misses counts requests that ran the verifier.
+	// Misses counts requests that ran the compute callback.
 	Misses uint64
 	// Evictions counts cache entries dropped to respect MaxEntries.
 	Evictions uint64
 	// BudgetExhausted counts verifier runs that hit the SAT conflict
 	// budget (Inconclusive verdicts from solver exhaustion).
 	BudgetExhausted uint64
+	// Canceled counts compute runs that ended canceled; their results
+	// were returned to the caller but not stored.
+	Canceled uint64
 	// Entries is the current cache population.
 	Entries int
 	// WallTime is the cumulative time spent inside live (non-cached)
-	// verifier runs, summed across workers — with N workers it can
+	// compute runs, summed across workers — with N workers it can
 	// exceed elapsed time by up to a factor of N.
 	WallTime time.Duration
 }
@@ -77,11 +85,11 @@ func (s Stats) String() string {
 	if s.Queries > 0 {
 		hitRate = float64(s.Hits) / float64(s.Queries)
 	}
-	return fmt.Sprintf("vcache: %d queries, %d hits (%.1f%%), %d misses, %d evictions, %d budget-exhausted, %d entries, %v solver wall time",
-		s.Queries, s.Hits, 100*hitRate, s.Misses, s.Evictions, s.BudgetExhausted, s.Entries, s.WallTime.Round(time.Millisecond))
+	return fmt.Sprintf("vcache: %d queries, %d hits (%.1f%%), %d misses, %d evictions, %d budget-exhausted, %d canceled, %d entries, %v solver wall time",
+		s.Queries, s.Hits, 100*hitRate, s.Misses, s.Evictions, s.BudgetExhausted, s.Canceled, s.Entries, s.WallTime.Round(time.Millisecond))
 }
 
-// call is one in-flight verification, shared by duplicate queriers.
+// call is one in-flight computation, shared by duplicate queriers.
 type call struct {
 	done chan struct{}
 	res  alive.Result
@@ -102,6 +110,7 @@ type Engine struct {
 	misses          atomic.Uint64
 	evictions       atomic.Uint64
 	budgetExhausted atomic.Uint64
+	canceled        atomic.Uint64
 	wallNanos       atomic.Int64
 }
 
@@ -117,31 +126,19 @@ func New(cfg Config) *Engine {
 	}
 }
 
-// Default is the process-wide engine used when callers do not supply
-// their own. Verdicts are pure, so sharing one cache across trainer
-// stages, evaluation runs, and CLIs is always sound and maximizes
-// reuse (greedy evaluation re-proves the same outputs across
-// curriculum stages).
-var Default = New(Config{})
-
 // KeyOfText normalizes a function text into cache-key form.
 func KeyOfText(text string) string { return ir.FingerprintText(text) }
 
 // KeyOfFunc renders and normalizes a function into cache-key form.
 func KeyOfFunc(f *ir.Function) string { return ir.FingerprintText(ir.CanonicalText(f)) }
 
-// VerifyFuncs is the cached equivalent of alive.VerifyFuncs.
-func (e *Engine) VerifyFuncs(src, tgt *ir.Function, opts alive.Options) alive.Result {
-	return e.VerifyKeyed(KeyOfFunc(src), src, KeyOfFunc(tgt), tgt, opts)
-}
-
-// VerifyKeyed verifies tgt against src, reusing a cached verdict when
-// the keyed pair was proven before. srcKey/tgtKey must be the
-// KeyOfText/KeyOfFunc normalization of src and tgt; passing
-// precomputed keys lets hot loops skip re-rendering the source per
-// query.
-func (e *Engine) VerifyKeyed(srcKey string, src *ir.Function, tgtKey string, tgt *ir.Function, opts alive.Options) alive.Result {
-	k := Key{Src: srcKey, Dst: tgtKey, Opts: opts}
+// Do returns the memoized result for k, running compute on a miss.
+// Identical in-flight keys are deduplicated: duplicate callers block
+// on the first caller's compute, or return a Canceled result as soon
+// as their own ctx ends. Canceled results (ctx ended mid-compute) are
+// returned but never stored, so a later query under a live context
+// re-runs the verifier.
+func (e *Engine) Do(ctx context.Context, k Key, compute func() alive.Result) alive.Result {
 	e.queries.Add(1)
 
 	e.mu.Lock()
@@ -153,8 +150,16 @@ func (e *Engine) VerifyKeyed(srcKey string, src *ir.Function, tgtKey string, tgt
 	if c, ok := e.inflight[k]; ok {
 		e.mu.Unlock()
 		e.hits.Add(1)
-		<-c.done
-		return c.res
+		if ctx == nil {
+			<-c.done
+			return c.res
+		}
+		select {
+		case <-c.done:
+			return c.res
+		case <-ctx.Done():
+			return alive.CanceledResult(ctx.Err())
+		}
 	}
 	c := &call{done: make(chan struct{})}
 	e.inflight[k] = c
@@ -162,14 +167,18 @@ func (e *Engine) VerifyKeyed(srcKey string, src *ir.Function, tgtKey string, tgt
 	e.misses.Add(1)
 
 	t0 := time.Now()
-	c.res = alive.VerifyFuncs(src, tgt, opts)
+	c.res = compute()
 	e.wallNanos.Add(int64(time.Since(t0)))
 	if c.res.Verdict == alive.Inconclusive && strings.Contains(c.res.Diag, "solver budget exhausted") {
 		e.budgetExhausted.Add(1)
 	}
 
 	e.mu.Lock()
-	e.store(k, c.res)
+	if c.res.Canceled {
+		e.canceled.Add(1)
+	} else {
+		e.store(k, c.res)
+	}
 	delete(e.inflight, k)
 	e.mu.Unlock()
 	close(c.done)
@@ -203,6 +212,7 @@ func (e *Engine) Stats() Stats {
 		Misses:          e.misses.Load(),
 		Evictions:       e.evictions.Load(),
 		BudgetExhausted: e.budgetExhausted.Load(),
+		Canceled:        e.canceled.Load(),
 		Entries:         n,
 		WallTime:        time.Duration(e.wallNanos.Load()),
 	}
@@ -220,45 +230,6 @@ func (e *Engine) Reset() {
 	e.misses.Store(0)
 	e.evictions.Store(0)
 	e.budgetExhausted.Store(0)
+	e.canceled.Store(0)
 	e.wallNanos.Store(0)
-}
-
-// ParallelFor runs fn(0..n-1) across the given number of workers,
-// returning when all calls complete. workers <= 0 selects
-// runtime.NumCPU(); workers == 1 (or n <= 1) runs inline with no
-// goroutines. fn must be safe to call concurrently; writes should go
-// to index-disjoint slots so results are identical at any worker
-// count.
-func ParallelFor(workers, n int, fn func(i int)) {
-	if n <= 0 {
-		return
-	}
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
 }

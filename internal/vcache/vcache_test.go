@@ -1,46 +1,33 @@
 package vcache
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"veriopt/internal/alive"
-	"veriopt/internal/ir"
 )
 
-func mustParse(t *testing.T, text string) *ir.Function {
-	t.Helper()
-	f, err := ir.ParseFunc(text)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := ir.VerifyFunc(f); err != nil {
-		t.Fatal(err)
-	}
-	return f
+var bg = context.Background()
+
+func keyN(i int) Key {
+	return Key{Src: string(rune('a' + i)), Dst: "t", Opts: alive.DefaultOptions()}
 }
 
-const srcText = `define i32 @f(i32 noundef %x) {
-  %r = add i32 %x, 0
-  ret i32 %r
-}`
-
-const tgtText = `define i32 @f(i32 noundef %x) {
-  ret i32 %x
-}`
-
-const badText = `define i32 @f(i32 noundef %x) {
-  %r = add i32 %x, 1
-  ret i32 %r
-}`
+func equivalent() alive.Result { return alive.Result{Verdict: alive.Equivalent} }
 
 func TestSecondIdenticalQueryIsHit(t *testing.T) {
 	e := New(Config{})
-	src := mustParse(t, srcText)
-	tgt := mustParse(t, tgtText)
-	opts := alive.DefaultOptions()
+	var computes atomic.Int64
+	compute := func() alive.Result {
+		computes.Add(1)
+		time.Sleep(time.Millisecond) // make WallTime observable
+		return equivalent()
+	}
 
-	r1 := e.VerifyFuncs(src, tgt, opts)
+	r1 := e.Do(bg, keyN(0), compute)
 	if r1.Verdict != alive.Equivalent {
 		t.Fatalf("verdict = %v, want equivalent", r1.Verdict)
 	}
@@ -49,7 +36,7 @@ func TestSecondIdenticalQueryIsHit(t *testing.T) {
 		t.Fatalf("after miss: %+v", s)
 	}
 
-	r2 := e.VerifyFuncs(src, tgt, opts)
+	r2 := e.Do(bg, keyN(0), compute)
 	if r2.Verdict != r1.Verdict || r2.Diag != r1.Diag {
 		t.Fatalf("cached result differs: %+v vs %+v", r2, r1)
 	}
@@ -60,47 +47,35 @@ func TestSecondIdenticalQueryIsHit(t *testing.T) {
 	if s.Entries != 1 {
 		t.Fatalf("entries = %d, want 1", s.Entries)
 	}
-	if s.WallTime <= 0 {
-		t.Fatal("no solver wall time recorded")
+	if computes.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes.Load())
 	}
-}
-
-func TestWhitespaceVariantsShareAnEntry(t *testing.T) {
-	e := New(Config{})
-	src := mustParse(t, srcText)
-	tgt := mustParse(t, tgtText)
-	opts := alive.DefaultOptions()
-	e.VerifyKeyed(KeyOfText(srcText), src, KeyOfText(tgtText), tgt, opts)
-	spaced := "  " + tgtText + "\n\n"
-	e.VerifyKeyed(KeyOfText(srcText), src, KeyOfText(spaced), tgt, opts)
-	if s := e.Stats(); s.Hits != 1 {
-		t.Fatalf("whitespace variant missed the cache: %+v", s)
+	if s.WallTime <= 0 {
+		t.Fatal("no compute wall time recorded")
 	}
 }
 
 func TestDifferentOptionsAreDifferentKeys(t *testing.T) {
 	e := New(Config{})
-	src := mustParse(t, srcText)
-	tgt := mustParse(t, tgtText)
-	e.VerifyFuncs(src, tgt, alive.DefaultOptions())
-	other := alive.DefaultOptions()
-	other.SolverBudget /= 2
-	e.VerifyFuncs(src, tgt, other)
+	k := keyN(0)
+	e.Do(bg, k, equivalent)
+	other := k
+	other.Opts.SolverBudget /= 2
+	e.Do(bg, other, equivalent)
 	if s := e.Stats(); s.Misses != 2 || s.Hits != 0 {
 		t.Fatalf("distinct Options shared an entry: %+v", s)
 	}
 }
 
-func TestSemanticErrorCachedToo(t *testing.T) {
+func TestNonEquivalentVerdictsCachedToo(t *testing.T) {
 	e := New(Config{})
-	src := mustParse(t, srcText)
-	bad := mustParse(t, badText)
-	r1 := e.VerifyFuncs(src, bad, alive.DefaultOptions())
-	if r1.Verdict != alive.SemanticError {
-		t.Fatalf("verdict = %v, want semantic_error", r1.Verdict)
-	}
-	r2 := e.VerifyFuncs(src, bad, alive.DefaultOptions())
-	if r2.Verdict != alive.SemanticError || r2.Diag != r1.Diag {
+	bad := alive.Result{Verdict: alive.SemanticError, Diag: "ERROR: Value mismatch"}
+	r1 := e.Do(bg, keyN(1), func() alive.Result { return bad })
+	r2 := e.Do(bg, keyN(1), func() alive.Result {
+		t.Error("compute re-ran for a cached semantic verdict")
+		return bad
+	})
+	if r2.Verdict != r1.Verdict || r2.Diag != r1.Diag {
 		t.Fatal("cached semantic verdict differs")
 	}
 	if s := e.Stats(); s.Hits != 1 {
@@ -108,14 +83,71 @@ func TestSemanticErrorCachedToo(t *testing.T) {
 	}
 }
 
+// TestCanceledResultsNotCached: a Canceled result must be handed back
+// but never memoized — the next query under a live context re-runs.
+func TestCanceledResultsNotCached(t *testing.T) {
+	e := New(Config{})
+	var computes atomic.Int64
+	first := e.Do(bg, keyN(2), func() alive.Result {
+		computes.Add(1)
+		return alive.CanceledResult(context.Canceled)
+	})
+	if !first.Canceled || first.Verdict != alive.Inconclusive {
+		t.Fatalf("first result = %+v, want canceled inconclusive", first)
+	}
+	second := e.Do(bg, keyN(2), func() alive.Result {
+		computes.Add(1)
+		return equivalent()
+	})
+	if second.Verdict != alive.Equivalent || second.Canceled {
+		t.Fatalf("second result = %+v, want live equivalent", second)
+	}
+	if computes.Load() != 2 {
+		t.Fatalf("compute ran %d times, want 2 (canceled result must not stick)", computes.Load())
+	}
+	if s := e.Stats(); s.Canceled != 1 || s.Entries != 1 {
+		t.Fatalf("stats after canceled run: %+v", s)
+	}
+}
+
+// TestDuplicateWaiterUnblocksOnOwnCancel: a caller blocked on another
+// caller's in-flight compute must return as soon as its own context
+// ends, even though the compute is still running.
+func TestDuplicateWaiterUnblocksOnOwnCancel(t *testing.T) {
+	e := New(Config{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go e.Do(bg, keyN(3), func() alive.Result {
+		close(started)
+		<-release
+		return equivalent()
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan alive.Result, 1)
+	go func() {
+		done <- e.Do(ctx, keyN(3), func() alive.Result {
+			t.Error("duplicate caller ran compute")
+			return equivalent()
+		})
+	}()
+	cancel()
+	select {
+	case r := <-done:
+		if !r.Canceled {
+			t.Fatalf("duplicate waiter result = %+v, want canceled", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("duplicate waiter did not unblock on its own cancel")
+	}
+	close(release)
+}
+
 func TestEvictionRespectsBound(t *testing.T) {
 	e := New(Config{MaxEntries: 2})
-	src := mustParse(t, srcText)
-	tgt := mustParse(t, tgtText)
-	// Synthesize distinct keys via the srcKey argument; the verifier
-	// result is irrelevant to the bookkeeping under test.
 	for i := 0; i < 5; i++ {
-		e.VerifyKeyed(string(rune('a'+i)), src, "t", tgt, alive.DefaultOptions())
+		e.Do(bg, keyN(i), equivalent)
 	}
 	s := e.Stats()
 	if s.Entries > 2 {
@@ -128,21 +160,23 @@ func TestEvictionRespectsBound(t *testing.T) {
 
 func TestConcurrentQueriesRaceFree(t *testing.T) {
 	e := New(Config{})
-	src := mustParse(t, srcText)
-	tgt := mustParse(t, tgtText)
-	bad := mustParse(t, badText)
+	var computes atomic.Int64
+	compute := func() alive.Result {
+		computes.Add(1)
+		return equivalent()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				if r := e.VerifyFuncs(src, tgt, alive.DefaultOptions()); r.Verdict != alive.Equivalent {
-					t.Error("wrong verdict for equivalent pair")
+				if r := e.Do(bg, keyN(0), compute); r.Verdict != alive.Equivalent {
+					t.Error("wrong verdict")
 					return
 				}
-				if r := e.VerifyFuncs(src, bad, alive.DefaultOptions()); r.Verdict != alive.SemanticError {
-					t.Error("wrong verdict for broken pair")
+				if r := e.Do(bg, keyN(1), compute); r.Verdict != alive.Equivalent {
+					t.Error("wrong verdict")
 					return
 				}
 			}
@@ -153,33 +187,17 @@ func TestConcurrentQueriesRaceFree(t *testing.T) {
 	if want := uint64(8 * 20 * 2); s.Queries != want {
 		t.Fatalf("queries = %d, want %d", s.Queries, want)
 	}
-	// Singleflight + cache: at most one live verification per key.
-	if s.Misses > 2 {
-		t.Fatalf("misses = %d, want <= 2 (singleflight)", s.Misses)
+	// Singleflight + cache: at most one live computation per key.
+	if computes.Load() > 2 {
+		t.Fatalf("computes = %d, want <= 2 (singleflight)", computes.Load())
 	}
 }
 
 func TestResetClears(t *testing.T) {
 	e := New(Config{})
-	src := mustParse(t, srcText)
-	tgt := mustParse(t, tgtText)
-	e.VerifyFuncs(src, tgt, alive.DefaultOptions())
+	e.Do(bg, keyN(0), equivalent)
 	e.Reset()
 	if s := e.Stats(); s.Queries != 0 || s.Entries != 0 {
 		t.Fatalf("reset left state: %+v", s)
 	}
-}
-
-func TestParallelForCoversAllIndices(t *testing.T) {
-	for _, workers := range []int{1, 3, 16} {
-		n := 100
-		got := make([]int, n)
-		ParallelFor(workers, n, func(i int) { got[i] = i + 1 })
-		for i, v := range got {
-			if v != i+1 {
-				t.Fatalf("workers=%d: index %d not visited", workers, i)
-			}
-		}
-	}
-	ParallelFor(4, 0, func(int) { t.Fatal("fn called for n=0") })
 }
