@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 lint bench bench-workers
+.PHONY: all tier1 tier2 lint serve-smoke bench bench-workers
 
 all: tier1 tier2
 
@@ -16,8 +16,14 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: lint
+tier2: lint serve-smoke
 	$(GO) test -race ./...
+
+# Serving-layer acceptance gate: >=100 concurrent /v1/verify requests
+# through the bounded queue (200 or explicit 429, never a hang),
+# oracle hit rate + queue depth on /metrics, goroutine-clean drain.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count=1 ./internal/server
 
 # lint fails on any vet diagnostic or unformatted file.
 lint:

@@ -6,6 +6,7 @@
 //
 //	veriopt experiments [-run id|all] [-n corpus] [-seed s] [-trace f] [flags]
 //	veriopt train       [-n corpus] [-seed s] [-trace f] [flags]
+//	veriopt serve       [-addr host:port] [-queue n] [-workers n] [-model m.json]
 //	veriopt dataset     [-n corpus] [-seed s] [-out dir]
 //	veriopt list
 //
@@ -69,6 +70,8 @@ func main() {
 		err = cmdDataset(os.Args[2:])
 	case "optimize":
 		err = cmdOptimize(ctx, os.Args[2:])
+	case "serve":
+		err = cmdServe(ctx, os.Args[2:])
 	case "list":
 		fmt.Println("available experiments:")
 		for _, id := range experiments.IDs() {
@@ -99,6 +102,9 @@ subcommands:
   train        run the four-stage curriculum and print stage summaries
                (-save model.json persists the Model-Latency policy)
   optimize     optimize a .ll file with a trained model + verifier fallback
+  serve        HTTP/JSON verification service: /v1/verify, /v1/optimize,
+               /v1/evaluate, /healthz, /metrics; bounded queue with 429
+               shedding, graceful drain on SIGTERM
   dataset      generate a corpus and write .ll files
   list         list experiment ids
 

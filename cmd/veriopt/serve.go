@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"veriopt/internal/obs"
+	"veriopt/internal/oracle"
+	"veriopt/internal/policy"
+	"veriopt/internal/server"
+)
+
+// cmdServe runs the verification-as-a-service front-end: a long-lived
+// HTTP/JSON server over the oracle stack (see internal/server).
+// SIGTERM or SIGINT drains gracefully — stop accepting, finish
+// in-flight requests within -grace, then flush the oracle/cache stats
+// to stderr.
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8723", "listen address")
+	queueSize := fs.Int("queue", server.DefaultQueueSize,
+		"bounded work-queue capacity (a full queue sheds requests with 429 + Retry-After)")
+	workers := fs.Int("workers", runtime.NumCPU(), "queue worker count (concurrent request executions)")
+	modelPath := fs.String("model", "",
+		"trained policy JSON (from train -save) behind /v1/optimize and /v1/evaluate; empty = instcombine / untrained base")
+	timeout := fs.Duration("timeout", 30*time.Second,
+		"default per-request deadline, queue wait included (requests may set their own timeout_ms)")
+	grace := fs.Duration("grace", server.DefaultGracePeriod, "drain deadline after SIGTERM/SIGINT")
+	trace := fs.String("trace", "", "write JSON-lines request-span events to this file ('-' = stderr)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec, closeTrace, err := openTrace(*trace)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
+
+	// The shared main() handler covers SIGINT; serving adds SIGTERM,
+	// the orchestrator-issued shutdown signal.
+	ctx, stop := signal.NotifyContext(ctx, syscall.SIGTERM)
+	defer stop()
+
+	var model *policy.Model
+	if *modelPath != "" {
+		blob, err := os.ReadFile(*modelPath)
+		if err != nil {
+			return err
+		}
+		model = &policy.Model{}
+		if err := json.Unmarshal(blob, model); err != nil {
+			return err
+		}
+	}
+	o := oracle.Default()
+	defer reportVerifierStats(o)
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueSize:      *queueSize,
+		DefaultTimeout: *timeout,
+		GracePeriod:    *grace,
+		Oracle:         o,
+		Model:          model,
+		Obs:            rec,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "veriopt serve: listening on http://%s (queue %d, workers %d)\n",
+		ln.Addr(), *queueSize, *workers)
+	rec.Emit(obs.Event{Kind: "run_start", Note: "serve " + ln.Addr().String()})
+	err = srv.Run(ctx, ln)
+	rec.Emit(obs.Event{Kind: "run_end"})
+	fmt.Fprintln(os.Stderr, "veriopt serve: drained")
+	return err
+}

@@ -226,7 +226,10 @@ func LatencyReward(j *Judgment, p LatencyRewardParams) float64 {
 }
 
 // ComputeUMax returns the given percentile of instcombine's speedups
-// over the corpus (paper: 80th percentile).
+// over the corpus (paper: 80th percentile). The percentile is clamped
+// to [0, 100] and resolved by the nearest-rank method — the old
+// truncating index int(p/100*(n-1)) biased UMax low on small corpora
+// (the 80th percentile of 4 samples selected index 2 instead of 3).
 func ComputeUMax(samples []*dataset.Sample, percentile float64) float64 {
 	var ups []float64
 	for _, s := range samples {
@@ -237,10 +240,31 @@ func ComputeUMax(samples []*dataset.Sample, percentile float64) float64 {
 		return defaultUMax
 	}
 	sort.Float64s(ups)
-	idx := int(percentile / 100 * float64(len(ups)-1))
-	u := ups[idx]
+	u := ups[percentileIndex(percentile, len(ups))]
 	if u <= 1.01 {
 		u = 1.5
 	}
 	return u
+}
+
+// percentileIndex maps a percentile to a 0-based index into a sorted
+// slice of n values using the nearest-rank method with half-ranks
+// rounded up: rank = ceil(p/100 * n), clamped to [1, n]. p itself is
+// clamped to [0, 100] first, so out-of-range inputs select the min or
+// max rather than panicking.
+func percentileIndex(p float64, n int) int {
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return rank - 1
 }

@@ -122,6 +122,30 @@ func TestLatencyRewardShape(t *testing.T) {
 	_ = ok
 }
 
+// TestPercentileIndexNearestRank pins the nearest-rank index math:
+// the old int(p/100*(n-1)) truncation selected index 2 for the 80th
+// percentile of 4 samples, biasing UMax low on small corpora.
+func TestPercentileIndexNearestRank(t *testing.T) {
+	cases := []struct {
+		p    float64
+		n    int
+		want int
+	}{
+		// 80th percentile across n=1..5 (the small-corpus regression).
+		{80, 1, 0}, {80, 2, 1}, {80, 3, 2}, {80, 4, 3}, {80, 5, 3},
+		// Half-ranks round up.
+		{50, 1, 0}, {50, 2, 0}, {50, 3, 1}, {50, 4, 1}, {50, 5, 2},
+		// Extremes and clamping.
+		{0, 4, 0}, {100, 4, 3}, {-5, 4, 0}, {150, 4, 3},
+		{25, 4, 0}, {75, 4, 2}, {100, 1, 0}, {0, 1, 0},
+	}
+	for _, c := range cases {
+		if got := percentileIndex(c.p, c.n); got != c.want {
+			t.Errorf("percentileIndex(%v, %d) = %d, want %d", c.p, c.n, got, c.want)
+		}
+	}
+}
+
 func TestComputeUMax(t *testing.T) {
 	samples := corpus(t, 20)
 	u := ComputeUMax(samples, 80)

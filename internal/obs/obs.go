@@ -31,9 +31,11 @@ type Event struct {
 	// ElapsedMs is milliseconds since the recorder was created.
 	ElapsedMs float64 `json:"elapsed_ms"`
 	// Kind names the event: run_start, stage_start, stage_end, eval,
-	// run_end, interrupted, ...
+	// run_end, interrupted, request (one serving-layer request span;
+	// see RequestEvent), ...
 	Kind string `json:"kind"`
-	// Stage names the curriculum stage or evaluation target.
+	// Stage names the curriculum stage, evaluation target, or — for
+	// request events — the endpoint path.
 	Stage string `json:"stage,omitempty"`
 	// Steps is the number of optimization steps a stage ran.
 	Steps int `json:"steps,omitempty"`
@@ -124,6 +126,24 @@ func (r *Recorder) Emit(ev Event) {
 		return
 	}
 	r.w.Write(append(blob, '\n'))
+}
+
+// RequestEvent builds the serving layer's per-request span event: one
+// "request" record per handled HTTP request, carrying the endpoint
+// path as the stage, the response status and queue wait under Fields,
+// and the end-to-end wall time. Emitted by internal/server after the
+// response is written, so WallMs includes queue wait, verification,
+// and serialization.
+func RequestEvent(endpoint string, status int, queueWait, wall time.Duration) Event {
+	return Event{
+		Kind:   "request",
+		Stage:  endpoint,
+		WallMs: float64(wall.Microseconds()) / 1000,
+		Fields: map[string]float64{
+			"status":        float64(status),
+			"queue_wait_ms": float64(queueWait.Microseconds()) / 1000,
+		},
+	}
 }
 
 // VerdictCounts converts an oracle stats snapshot into the event

@@ -122,6 +122,22 @@ type Stats struct {
 	Wall time.Duration
 }
 
+// Counters returns the snapshot's monotonic counters under stable
+// snake_case names — verdict categories use the alive.Verdict names —
+// for metrics exporters (the serving layer's Prometheus endpoint, obs
+// event fields). Wall is excluded: exporters publish it separately as
+// a seconds total.
+func (s Stats) Counters() map[string]uint64 {
+	out := map[string]uint64{
+		"queries":  s.Queries,
+		"canceled": s.Canceled,
+	}
+	for i, n := range s.ByVerdict {
+		out[alive.Verdict(i).String()] = n
+	}
+	return out
+}
+
 // String renders the snapshot for logs.
 func (s Stats) String() string {
 	return fmt.Sprintf("oracle: %d queries (%d equivalent, %d semantic, %d syntax, %d inconclusive, %d canceled), %v wall",

@@ -11,6 +11,7 @@ import (
 	"veriopt/internal/dataset"
 	"veriopt/internal/ir"
 	"veriopt/internal/oracle"
+	"veriopt/internal/policy"
 )
 
 // TestEvaluateIdenticalAcrossWorkers: greedy evaluation must produce
@@ -102,6 +103,104 @@ func TestEvaluateCancellationPartialReport(t *testing.T) {
 		_ = o.rep.DifferentCorrectFrac()
 	case <-time.After(10 * time.Second):
 		t.Fatal("EvaluateCtx did not return promptly after cancel")
+	}
+}
+
+// TestEvaluateCanceledVerdictsCountSkipped: a sample whose judge
+// result carries Canceled (e.g. a per-query timeout expired) was
+// never genuinely evaluated — it must land in Skipped, not
+// Inconclusive, and must not participate in Total() or the fractions.
+func TestEvaluateCanceledVerdictsCountSkipped(t *testing.T) {
+	samples, err := dataset.Generate(dataset.Config{Seed: 7, N: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := policy.New(policy.CapQwen3B, 1)
+	// Every oracle query comes back canceled; samples whose output
+	// fails to parse never reach the oracle and stay SyntaxError.
+	canceled := oracle.Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+		return alive.CanceledResult(context.Canceled)
+	})
+	rep, err := EvaluateCtx(context.Background(), m, samples, false,
+		EvalConfig{Verify: EvalOptions(), Workers: 2, Oracle: canceled})
+	if err != nil {
+		t.Fatalf("uncanceled run returned err = %v", err)
+	}
+	nCanceled := 0
+	for i, r := range rep.Results {
+		if r == nil {
+			t.Fatalf("complete run left slot %d nil", i)
+		}
+		if r.Canceled {
+			nCanceled++
+		}
+	}
+	if nCanceled == 0 {
+		t.Fatal("no sample reached the canceling oracle; test is vacuous")
+	}
+	if rep.Skipped != nCanceled {
+		t.Fatalf("Skipped = %d, want %d (one per canceled verdict)", rep.Skipped, nCanceled)
+	}
+	if rep.Inconclusive != 0 {
+		t.Fatalf("canceled verdicts leaked into Inconclusive: %+v", *rep)
+	}
+	if rep.Total() != len(samples)-nCanceled {
+		t.Fatalf("Total() = %d, want %d", rep.Total(), len(samples)-nCanceled)
+	}
+	if sum := rep.Correct + rep.Semantic + rep.Syntax + rep.Inconclusive; sum != rep.Total() {
+		t.Fatalf("buckets sum to %d, Total() = %d", sum, rep.Total())
+	}
+}
+
+// TestEvaluatePartialFractionsExcludeCanceled: under a mid-run
+// cancel, the samples verified before the cut keep their verdicts and
+// the fractions are computed over them alone — in-flight canceled
+// verdicts and unreached samples both count as Skipped.
+func TestEvaluatePartialFractionsExcludeCanceled(t *testing.T) {
+	samples, err := dataset.Generate(dataset.Config{Seed: 11, N: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := policy.New(policy.CapQwen3B, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var queries int
+	// Sequential (Workers: 1) so the cut point is deterministic: the
+	// first three queries answer Equivalent, the fourth cancels the
+	// run and everything from there comes back canceled.
+	fake := oracle.Func(func(qctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+		queries++
+		if queries > 3 {
+			cancel()
+			return alive.CanceledResult(context.Canceled)
+		}
+		return alive.Result{Verdict: alive.Equivalent}
+	})
+	rep, runErr := EvaluateCtx(ctx, m, samples, false,
+		EvalConfig{Verify: EvalOptions(), Workers: 1, Oracle: fake})
+	if runErr != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", runErr)
+	}
+	evaluated := 0
+	for _, r := range rep.Results {
+		if r == nil || r.Canceled {
+			continue
+		}
+		evaluated++
+	}
+	if rep.Total() != evaluated {
+		t.Fatalf("Total() = %d, want %d genuinely evaluated samples", rep.Total(), evaluated)
+	}
+	if rep.Total()+rep.Skipped != len(samples) {
+		t.Fatalf("Total %d + Skipped %d != %d", rep.Total(), rep.Skipped, len(samples))
+	}
+	if rep.Inconclusive != 0 {
+		t.Fatalf("canceled verdicts leaked into Inconclusive: %+v", *rep)
+	}
+	if rep.Total() > 0 {
+		want := float64(rep.Correct) / float64(rep.Total())
+		if got := rep.CorrectFrac(); got != want {
+			t.Fatalf("CorrectFrac() = %v, want %v (over evaluated samples only)", got, want)
+		}
 	}
 }
 

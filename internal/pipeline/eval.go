@@ -22,7 +22,14 @@ type SampleResult struct {
 	Sample  *dataset.Sample
 	Verdict alive.Verdict
 	Diag    string
-	Copied  bool
+	// Canceled marks a sample whose verification was cut short by the
+	// run's context ending (the judge returned a Canceled verdict).
+	// The slot is kept — Sample, Base, and the fallback Out are valid
+	// — but the sample was not genuinely evaluated: it is counted in
+	// Report.Skipped, not Inconclusive, and excluded from Total() and
+	// every aggregate metric.
+	Canceled bool
+	Copied   bool
 	// FinalFn is the model's output when verified; nil otherwise.
 	FinalFn *ir.Function
 	// Out is the effective metrics after the paper's fallback rule:
@@ -38,8 +45,10 @@ type SampleResult struct {
 // categories of Tables I/II.
 type Report struct {
 	// Results holds one entry per sample. Entries are nil for samples
-	// never evaluated because the run was canceled; they are excluded
-	// from every tally and aggregate metric and counted in Skipped.
+	// never evaluated because the run was canceled; entries with
+	// Canceled set were reached but their verification was cut short
+	// mid-flight. Both kinds are excluded from every tally and
+	// aggregate metric and counted in Skipped.
 	Results []*SampleResult
 
 	Correct      int
@@ -47,8 +56,11 @@ type Report struct {
 	Semantic     int
 	Syntax       int
 	Inconclusive int
-	// Skipped counts the samples a canceled run never reached. A
-	// complete run has Skipped == 0.
+	// Skipped counts the samples a canceled run never reached (nil
+	// Results slots) plus the samples whose in-flight verification
+	// came back Canceled (slots with Canceled set). A complete run
+	// has Skipped == 0, so CorrectFrac/DifferentCorrectFrac are
+	// always fractions over genuinely evaluated samples.
 	Skipped int
 }
 
@@ -110,8 +122,11 @@ func EvaluateWith(m *policy.Model, samples []*dataset.Sample, augmented bool, cf
 //
 // When ctx ends mid-run, EvaluateCtx returns promptly with a partial
 // report — evaluated samples keep their results, unreached samples
-// stay nil in Results and are counted in Skipped — plus the context's
-// error. Canceled in-flight verdicts land in the Inconclusive bucket.
+// stay nil in Results, and samples whose in-flight verification came
+// back Canceled keep their slot with Canceled set — plus the
+// context's error. Both unreached and canceled samples are counted in
+// Skipped, never in Inconclusive, so a partial report's fractions are
+// over genuinely evaluated samples only.
 func EvaluateCtx(ctx context.Context, m *policy.Model, samples []*dataset.Sample, augmented bool, cfg EvalConfig) (*Report, error) {
 	o := oracle.OrDefault(cfg.Oracle)
 	rep := &Report{Results: make([]*SampleResult, len(samples))}
@@ -120,12 +135,13 @@ func EvaluateCtx(ctx context.Context, m *policy.Model, samples []*dataset.Sample
 		ep := m.Generate(s.O0, policy.GenOptions{Augmented: augmented})
 		j := grpo.JudgeWith(ctx, o, ep, s, cfg.Verify)
 		res := &SampleResult{
-			Sample:  s,
-			Verdict: j.FinalVerdict.Verdict,
-			Diag:    j.FinalVerdict.Diag,
-			Copied:  ep.Copied,
-			Base:    costmodel.Measure(s.O0),
-			Ref:     costmodel.Measure(s.Ref),
+			Sample:   s,
+			Verdict:  j.FinalVerdict.Verdict,
+			Diag:     j.FinalVerdict.Diag,
+			Canceled: j.FinalVerdict.Canceled,
+			Copied:   ep.Copied,
+			Base:     costmodel.Measure(s.O0),
+			Ref:      costmodel.Measure(s.Ref),
 		}
 		if res.Verdict == alive.Equivalent {
 			res.FinalFn = j.FinalFn
@@ -138,7 +154,11 @@ func EvaluateCtx(ctx context.Context, m *policy.Model, samples []*dataset.Sample
 		rep.Results[i] = res
 	})
 	for _, res := range rep.Results {
-		if res == nil {
+		if res == nil || res.Canceled {
+			// Unreached, or verification cut short mid-flight: the
+			// sample was never genuinely evaluated, so it must not
+			// land in Inconclusive (that would deflate the fractions
+			// of a partial report).
 			rep.Skipped++
 			continue
 		}
@@ -201,7 +221,7 @@ func OutcomesVsO0(rep *Report, m Metric) Outcomes {
 	var o Outcomes
 	sum, n := 0.0, 0
 	for _, r := range rep.Results {
-		if r == nil {
+		if r == nil || r.Canceled {
 			continue
 		}
 		base := metricOf(r.Base, m)
@@ -233,7 +253,7 @@ func GeomeanRatio(rep *Report, m Metric) float64 {
 	logSum := 0.0
 	n := 0
 	for _, r := range rep.Results {
-		if r == nil {
+		if r == nil || r.Canceled {
 			continue
 		}
 		base := metricOf(r.Base, m)
@@ -262,7 +282,7 @@ func RefGeomeanSpeedup(rep *Report) float64 {
 	logSum := 0.0
 	n := 0
 	for _, r := range rep.Results {
-		if r == nil {
+		if r == nil || r.Canceled {
 			continue
 		}
 		b, ref := r.Base.Latency, r.Ref.Latency
@@ -284,7 +304,7 @@ func VsInstCombine(rep *Report, m Metric) Outcomes {
 	var o Outcomes
 	sum, n := 0.0, 0
 	for _, r := range rep.Results {
-		if r == nil {
+		if r == nil || r.Canceled {
 			continue
 		}
 		ref := metricOf(r.Ref, m)
@@ -318,7 +338,7 @@ func HybridGeomeanGain(rep *Report, m Metric) float64 {
 	logSum := 0.0
 	n := 0
 	for _, r := range rep.Results {
-		if r == nil {
+		if r == nil || r.Canceled {
 			continue
 		}
 		ref := metricOf(r.Ref, m)

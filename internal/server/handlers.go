@@ -1,0 +1,361 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/costmodel"
+	"veriopt/internal/instcombine"
+	"veriopt/internal/ir"
+	"veriopt/internal/pipeline"
+	"veriopt/internal/policy"
+)
+
+// OptionsJSON mirrors alive.Options on the wire.
+type OptionsJSON struct {
+	MaxPaths     int `json:"max_paths,omitempty"`
+	MaxSteps     int `json:"max_steps,omitempty"`
+	SolverBudget int `json:"solver_budget,omitempty"`
+}
+
+// MetricsJSON mirrors costmodel.Metrics on the wire.
+type MetricsJSON struct {
+	Latency int `json:"latency"`
+	ICount  int `json:"icount"`
+	Size    int `json:"size"`
+}
+
+func metricsJSON(m costmodel.Metrics) MetricsJSON {
+	return MetricsJSON{Latency: m.Latency, ICount: m.ICount, Size: m.Size}
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// VerifyRequest asks whether tgt refines src.
+type VerifyRequest struct {
+	// Src and Tgt are single-function IR texts.
+	Src string `json:"src"`
+	Tgt string `json:"tgt"`
+	// Options overrides the server's default verification limits.
+	Options *OptionsJSON `json:"options,omitempty"`
+	// TimeoutMs overrides the server's default per-request deadline.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// VerifyResponse is the oracle's verdict.
+type VerifyResponse struct {
+	Verdict string `json:"verdict"`
+	Diag    string `json:"diag,omitempty"`
+	// Canceled marks a verdict produced because the request deadline
+	// expired rather than because the query exhausted its limits;
+	// retrying with a longer timeout can still prove the query.
+	Canceled        bool              `json:"canceled,omitempty"`
+	Counterexample  map[string]uint64 `json:"counterexample,omitempty"`
+	SolverConflicts int               `json:"solver_conflicts,omitempty"`
+}
+
+// OptimizeRequest asks the served optimizer to rewrite a module.
+type OptimizeRequest struct {
+	// IR is a whole-module text; every defined function is optimized
+	// independently under the paper's fallback rule.
+	IR        string `json:"ir"`
+	TimeoutMs int    `json:"timeout_ms,omitempty"`
+}
+
+// FunctionResult is the per-function outcome of /v1/optimize.
+type FunctionResult struct {
+	Name    string `json:"name"`
+	Verdict string `json:"verdict"`
+	Diag    string `json:"diag,omitempty"`
+	// UsedFallback reports that the input was kept because the
+	// candidate failed to parse or to verify (the deployment rule).
+	UsedFallback bool        `json:"used_fallback"`
+	Canceled     bool        `json:"canceled,omitempty"`
+	Base         MetricsJSON `json:"base"`
+	Out          MetricsJSON `json:"out"`
+	Speedup      float64     `json:"speedup"`
+	// outText carries the verified candidate back to the module
+	// rewrite; unexported, so it never reaches the wire.
+	outText string
+}
+
+// OptimizeResponse carries the rewritten module and per-function
+// metrics.
+type OptimizeResponse struct {
+	Module    string           `json:"module"`
+	Functions []FunctionResult `json:"functions"`
+}
+
+// EvaluateRequest names a deterministic corpus slice to evaluate.
+type EvaluateRequest struct {
+	// Seed and N identify the generated corpus (cached server-side).
+	Seed int64 `json:"seed"`
+	N    int   `json:"n"`
+	// Offset/Count select a slice of the corpus; Count == 0 means
+	// through the end.
+	Offset    int  `json:"offset,omitempty"`
+	Count     int  `json:"count,omitempty"`
+	Augmented bool `json:"augmented,omitempty"`
+	TimeoutMs int  `json:"timeout_ms,omitempty"`
+}
+
+// EvaluateResponse summarizes the (possibly partial) report.
+type EvaluateResponse struct {
+	Correct      int `json:"correct"`
+	Copies       int `json:"copies"`
+	Semantic     int `json:"semantic"`
+	Syntax       int `json:"syntax"`
+	Inconclusive int `json:"inconclusive"`
+	// Skipped counts samples the deadline cut off — unreached or with
+	// canceled in-flight verdicts. The fractions below are over
+	// genuinely evaluated samples only.
+	Skipped              int     `json:"skipped"`
+	Total                int     `json:"total"`
+	CorrectFrac          float64 `json:"correct_frac"`
+	DifferentCorrectFrac float64 `json:"different_correct_frac"`
+	GeomeanSpeedup       float64 `json:"geomean_speedup"`
+	// Canceled marks a partial report (the request deadline expired
+	// mid-run).
+	Canceled bool `json:"canceled,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// decode reads and parses the request body, answering 400 itself on
+// failure.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// serveQueued runs fn through the bounded work queue under the
+// request deadline, shedding with 429 + Retry-After when the queue is
+// full and 503 while draining. fn returns the response status and
+// body.
+func (s *Server) serveQueued(w http.ResponseWriter, r *http.Request, timeoutMs int, fn func(ctx context.Context) (int, any)) {
+	ctx := r.Context()
+	d := s.cfg.DefaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	var (
+		status int
+		body   any
+	)
+	enqueuedAt := time.Now()
+	j := &job{done: make(chan struct{})}
+	j.run = func() {
+		if span := spanOf(r.Context()); span != nil {
+			span.queueWait = time.Since(enqueuedAt)
+		}
+		status, body = fn(ctx)
+	}
+	switch s.enqueue(j) {
+	case queueFull:
+		s.metrics.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "work queue full, retry later"})
+		return
+	case queueDraining:
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server draining"})
+		return
+	}
+	<-j.done
+	writeJSON(w, status, body)
+}
+
+func (s *Server) verifyOptions(o *OptionsJSON) alive.Options {
+	if o == nil {
+		return s.cfg.Verify
+	}
+	opts := s.cfg.Verify
+	if o.MaxPaths > 0 {
+		opts.MaxPaths = o.MaxPaths
+	}
+	if o.MaxSteps > 0 {
+		opts.MaxSteps = o.MaxSteps
+	}
+	if o.SolverBudget > 0 {
+		opts.SolverBudget = o.SolverBudget
+	}
+	return opts
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	// A broken source is harness misuse (same contract as
+	// alive.VerifyText): reject before queueing. A broken target is a
+	// model failure and yields a syntax_error verdict.
+	src, err := ir.ParseFunc(req.Src)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "source does not parse: " + err.Error()})
+		return
+	}
+	if err := ir.VerifyFunc(src); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "source does not verify: " + err.Error()})
+		return
+	}
+	opts := s.verifyOptions(req.Options)
+	s.serveQueued(w, r, req.TimeoutMs, func(ctx context.Context) (int, any) {
+		tgt, err := ir.ParseFunc(req.Tgt)
+		if err != nil {
+			return http.StatusOK, VerifyResponse{Verdict: alive.SyntaxError.String(),
+				Diag: "ERROR: couldn't parse transformed IR: " + err.Error()}
+		}
+		if err := ir.VerifyFunc(tgt); err != nil {
+			return http.StatusOK, VerifyResponse{Verdict: alive.SyntaxError.String(),
+				Diag: "ERROR: invalid IR: " + err.Error()}
+		}
+		res := s.oracle.Verify(ctx, src, tgt, opts)
+		return http.StatusOK, VerifyResponse{
+			Verdict:         res.Verdict.String(),
+			Diag:            res.Diag,
+			Canceled:        res.Canceled,
+			Counterexample:  res.Counterexample,
+			SolverConflicts: res.SolverConflicts,
+		}
+	})
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	m, err := ir.Parse(req.IR)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "module does not parse: " + err.Error()})
+		return
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "module does not verify: " + err.Error()})
+		return
+	}
+	s.serveQueued(w, r, req.TimeoutMs, func(ctx context.Context) (int, any) {
+		resp := OptimizeResponse{Functions: make([]FunctionResult, 0, len(m.Funcs))}
+		for i, f := range m.Funcs {
+			fr := s.optimizeFunc(ctx, f)
+			if !fr.UsedFallback {
+				// Replace the function in place; the candidate was
+				// verified equivalent.
+				cand, _ := ir.ParseFunc(fr.outText)
+				cand.NameStr = f.NameStr
+				m.Funcs[i] = cand
+			}
+			fr.outText = ""
+			resp.Functions = append(resp.Functions, fr)
+		}
+		resp.Module = ir.Print(m)
+		return http.StatusOK, resp
+	})
+}
+
+// optimizeFunc applies the deployment rule to one function: generate
+// a candidate (trained model if loaded, else instcombine), verify it,
+// keep the input unless the verifier proves the candidate.
+func (s *Server) optimizeFunc(ctx context.Context, f *ir.Function) FunctionResult {
+	fr := FunctionResult{Name: f.Name(), UsedFallback: true, Base: metricsJSON(costmodel.Measure(f))}
+	var cand *ir.Function
+	if s.cfg.Model != nil {
+		ep := s.cfg.Model.Generate(f, policy.GenOptions{})
+		if g, err := ir.ParseFunc(ep.FinalText); err == nil && ir.VerifyFunc(g) == nil {
+			cand = g
+		}
+	} else {
+		cand = instcombine.Run(f)
+	}
+	if cand == nil {
+		fr.Verdict = alive.SyntaxError.String()
+		fr.Diag = "output rejected (parse), keeping input"
+		fr.Out = fr.Base
+		fr.Speedup = 1
+		return fr
+	}
+	res := s.oracle.Verify(ctx, f, cand, s.cfg.Verify)
+	fr.Verdict = res.Verdict.String()
+	fr.Diag = res.Diag
+	fr.Canceled = res.Canceled
+	if res.Verdict != alive.Equivalent {
+		fr.Out = fr.Base
+		fr.Speedup = 1
+		return fr
+	}
+	fr.UsedFallback = false
+	fr.Out = metricsJSON(costmodel.Measure(cand))
+	fr.Speedup = costmodel.Speedup(costmodel.Measure(f), costmodel.Measure(cand))
+	fr.outText = ir.CanonicalText(cand)
+	return fr
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.N <= 0 || req.N > s.cfg.EvalMaxN {
+		writeJSON(w, http.StatusBadRequest,
+			ErrorResponse{Error: fmt.Sprintf("n must be in [1, %d]", s.cfg.EvalMaxN)})
+		return
+	}
+	if req.Offset < 0 || req.Count < 0 || req.Offset > req.N {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "offset/count out of range"})
+		return
+	}
+	s.serveQueued(w, r, req.TimeoutMs, func(ctx context.Context) (int, any) {
+		corpus, err := s.corpus(req.Seed, req.N)
+		if err != nil {
+			return http.StatusInternalServerError, ErrorResponse{Error: "corpus generation: " + err.Error()}
+		}
+		slice := corpus[req.Offset:]
+		if req.Count > 0 && req.Count < len(slice) {
+			slice = slice[:req.Count]
+		}
+		rep, runErr := pipeline.EvaluateCtx(ctx, s.evalPol, slice, req.Augmented, pipeline.EvalConfig{
+			Verify:  s.cfg.Verify,
+			Workers: 1, // the queue's worker pool is the concurrency governor
+			Oracle:  s.oracle,
+		})
+		return http.StatusOK, EvaluateResponse{
+			Correct:              rep.Correct,
+			Copies:               rep.Copies,
+			Semantic:             rep.Semantic,
+			Syntax:               rep.Syntax,
+			Inconclusive:         rep.Inconclusive,
+			Skipped:              rep.Skipped,
+			Total:                rep.Total(),
+			CorrectFrac:          rep.CorrectFrac(),
+			DifferentCorrectFrac: rep.DifferentCorrectFrac(),
+			GeomeanSpeedup:       pipeline.GeomeanSpeedup(rep),
+			Canceled:             runErr != nil,
+		}
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}

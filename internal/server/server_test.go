@@ -1,0 +1,423 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/ir"
+	"veriopt/internal/oracle"
+)
+
+const (
+	srcAddZero = `define i32 @f(i32 noundef %0) {
+  %2 = add i32 %0, 0
+  ret i32 %2
+}
+`
+	tgtAddZero = `define i32 @f(i32 noundef %0) {
+  ret i32 %0
+}
+`
+)
+
+// start runs a server on a loopback listener and returns its base
+// URL, a cancel that begins the drain, and the channel Run's error
+// lands on.
+func start(t *testing.T, cfg Config) (*Server, string, context.CancelFunc, chan error) {
+	t.Helper()
+	s := New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.Run(ctx, ln) }()
+	return s, "http://" + ln.Addr().String(), cancel, errc
+}
+
+// drain cancels the server and requires a clean Run return.
+func drain(t *testing.T, cancel context.CancelFunc, errc chan error) {
+	t.Helper()
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("Run returned %v after drain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain")
+	}
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) (int, []byte, http.Header) {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out, resp.Header
+}
+
+func TestVerifyEndpoint(t *testing.T) {
+	_, base, cancel, errc := start(t, Config{Oracle: oracle.NewStack(oracle.Config{})})
+	client := &http.Client{}
+
+	code, body, _ := postJSON(t, client, base+"/v1/verify",
+		VerifyRequest{Src: srcAddZero, Tgt: tgtAddZero})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Verdict != "equivalent" || vr.Canceled {
+		t.Fatalf("verdict = %+v, want equivalent", vr)
+	}
+
+	// A broken target is a model failure: 200 with a syntax_error
+	// verdict, mirroring the batch pipeline's contract.
+	code, body, _ = postJSON(t, client, base+"/v1/verify",
+		VerifyRequest{Src: srcAddZero, Tgt: "not ir"})
+	if code != http.StatusOK {
+		t.Fatalf("broken target status = %d", code)
+	}
+	vr = VerifyResponse{}
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Verdict != "syntax_error" {
+		t.Fatalf("broken target verdict = %q, want syntax_error", vr.Verdict)
+	}
+
+	// A broken source is harness misuse: 400.
+	code, _, _ = postJSON(t, client, base+"/v1/verify",
+		VerifyRequest{Src: "not ir", Tgt: tgtAddZero})
+	if code != http.StatusBadRequest {
+		t.Fatalf("broken source status = %d, want 400", code)
+	}
+
+	drain(t, cancel, errc)
+}
+
+// TestDeadlinePropagation: a request's timeout_ms must become context
+// cancellation inside the oracle, yielding a prompt canceled verdict
+// instead of a hung request.
+func TestDeadlinePropagation(t *testing.T) {
+	blocking := oracle.Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+		<-ctx.Done()
+		return alive.CanceledResult(ctx.Err())
+	})
+	_, base, cancel, errc := start(t, Config{Workers: 2, Oracle: blocking})
+	client := &http.Client{}
+
+	t0 := time.Now()
+	code, body, _ := postJSON(t, client, base+"/v1/verify",
+		VerifyRequest{Src: srcAddZero, Tgt: tgtAddZero, TimeoutMs: 100})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if !vr.Canceled || vr.Verdict != "inconclusive" {
+		t.Fatalf("response = %+v, want canceled inconclusive", vr)
+	}
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("deadline did not propagate: request took %v", elapsed)
+	}
+	drain(t, cancel, errc)
+}
+
+// TestShedWith429UnderFullQueue: with one worker busy and the
+// one-slot queue occupied, the next request must be shed immediately
+// with 429 + Retry-After — not queued into an unbounded backlog.
+func TestShedWith429UnderFullQueue(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	blocking := oracle.Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+			return alive.Result{Verdict: alive.Equivalent}
+		case <-ctx.Done():
+			return alive.CanceledResult(ctx.Err())
+		}
+	})
+	s, base, cancel, errc := start(t, Config{Workers: 1, QueueSize: 1, Oracle: blocking})
+	client := &http.Client{}
+
+	type reply struct {
+		code int
+	}
+	fire := func(ch chan reply) {
+		code, _, _ := postJSON(t, client, base+"/v1/verify",
+			VerifyRequest{Src: srcAddZero, Tgt: tgtAddZero})
+		ch <- reply{code}
+	}
+	// First request occupies the single worker...
+	r1 := make(chan reply, 1)
+	go fire(r1)
+	<-started
+	// ...second fills the single queue slot...
+	r2 := make(chan reply, 1)
+	go fire(r2)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.QueueDepth() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...so the third must be shed.
+	code, body, hdr := postJSON(t, client, base+"/v1/verify",
+		VerifyRequest{Src: srcAddZero, Tgt: tgtAddZero})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %s)", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	close(release)
+	for _, ch := range []chan reply{r1, r2} {
+		select {
+		case r := <-ch:
+			if r.code != http.StatusOK {
+				t.Fatalf("queued request status = %d", r.code)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("queued request never completed")
+		}
+	}
+	// The shed shows up on /metrics.
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(blob), "veriopt_requests_shed_total 1") {
+		t.Fatalf("metrics missing shed counter:\n%s", blob)
+	}
+	drain(t, cancel, errc)
+}
+
+// TestGracefulDrainNoGoroutineLeak: after cancel, Run must finish the
+// in-flight request, stop the workers, and leave no goroutine behind.
+func TestGracefulDrainNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	_, base, cancel, errc := start(t, Config{Workers: 2, Oracle: oracle.NewStack(oracle.Config{})})
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr}
+	code, _, _ := postJSON(t, client, base+"/v1/verify",
+		VerifyRequest{Src: srcAddZero, Tgt: tgtAddZero})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	drain(t, cancel, errc)
+	tr.CloseIdleConnections()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines: %d before, %d after drain", before, n)
+	}
+}
+
+// TestDrainFinishesInFlight: a request already executing when the
+// drain begins must still complete with 200.
+func TestDrainFinishesInFlight(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	blocking := oracle.Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return alive.Result{Verdict: alive.Equivalent}
+	})
+	_, base, cancel, errc := start(t, Config{Workers: 1, Oracle: blocking})
+	client := &http.Client{}
+
+	done := make(chan int, 1)
+	go func() {
+		code, _, _ := postJSON(t, client, base+"/v1/verify",
+			VerifyRequest{Src: srcAddZero, Tgt: tgtAddZero})
+		done <- code
+	}()
+	<-started
+	cancel() // begin the drain with the request mid-verification
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	select {
+	case code := <-done:
+		if code != http.StatusOK {
+			t.Fatalf("in-flight request status = %d, want 200", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request dropped during drain")
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain")
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, base, cancel, errc := start(t, Config{Oracle: oracle.NewStack(oracle.Config{})})
+	client := &http.Client{}
+
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	// Two identical verifies: the second must be a cache hit, visible
+	// in the scraped oracle/vcache sections.
+	for i := 0; i < 2; i++ {
+		if code, body, _ := postJSON(t, client, base+"/v1/verify",
+			VerifyRequest{Src: srcAddZero, Tgt: tgtAddZero}); code != http.StatusOK {
+			t.Fatalf("verify status = %d, body %s", code, body)
+		}
+	}
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(blob)
+	for _, want := range []string{
+		`veriopt_requests_total{endpoint="/v1/verify",code="200"} 2`,
+		`veriopt_vcache_total{counter="hits"} 1`,
+		`veriopt_vcache_total{counter="misses"} 1`,
+		"veriopt_vcache_hit_rate 0.5",
+		"veriopt_queue_depth 0",
+		"veriopt_queue_capacity 256",
+		`veriopt_oracle_total{counter="equivalent"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	drain(t, cancel, errc)
+}
+
+func TestOptimizeEndpoint(t *testing.T) {
+	_, base, cancel, errc := start(t, Config{Oracle: oracle.NewStack(oracle.Config{})})
+	client := &http.Client{}
+
+	code, body, _ := postJSON(t, client, base+"/v1/optimize", OptimizeRequest{IR: srcAddZero})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	var or OptimizeResponse
+	if err := json.Unmarshal(body, &or); err != nil {
+		t.Fatal(err)
+	}
+	if len(or.Functions) != 1 {
+		t.Fatalf("functions = %d, want 1", len(or.Functions))
+	}
+	f := or.Functions[0]
+	// instcombine folds add-zero away; the verifier must have proven
+	// it, so the fallback is not used and the module shrinks.
+	if f.UsedFallback || f.Verdict != "equivalent" {
+		t.Fatalf("function result = %+v, want verified non-fallback", f)
+	}
+	if f.Out.ICount >= f.Base.ICount {
+		t.Fatalf("optimize did not shrink: base %+v out %+v", f.Base, f.Out)
+	}
+	if !strings.Contains(or.Module, "define i32 @f") {
+		t.Fatalf("rewritten module lost the function:\n%s", or.Module)
+	}
+
+	// A module that fails to parse is a 400.
+	code, _, _ = postJSON(t, client, base+"/v1/optimize", OptimizeRequest{IR: "not ir"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("broken module status = %d, want 400", code)
+	}
+	drain(t, cancel, errc)
+}
+
+func TestEvaluateEndpoint(t *testing.T) {
+	_, base, cancel, errc := start(t, Config{Oracle: oracle.NewStack(oracle.Config{})})
+	client := &http.Client{}
+
+	code, body, _ := postJSON(t, client, base+"/v1/evaluate",
+		EvaluateRequest{Seed: 3, N: 8})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	var er EvaluateResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Canceled || er.Skipped != 0 {
+		t.Fatalf("complete run reported partial: %+v", er)
+	}
+	if er.Total != 8 {
+		t.Fatalf("total = %d, want 8", er.Total)
+	}
+	if sum := er.Correct + er.Semantic + er.Syntax + er.Inconclusive; sum != er.Total {
+		t.Fatalf("buckets sum to %d, total %d", sum, er.Total)
+	}
+
+	// A tight deadline yields a partial report over the evaluated
+	// prefix: skipped samples excluded from the fractions, HTTP still
+	// 200 (the partial report is the answer, not an error).
+	code, body, _ = postJSON(t, client, base+"/v1/evaluate",
+		EvaluateRequest{Seed: 3, N: 8, TimeoutMs: 1})
+	if code != http.StatusOK {
+		t.Fatalf("partial status = %d, body %s", code, body)
+	}
+	er = EvaluateResponse{}
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Total+er.Skipped != 8 {
+		t.Fatalf("partial total %d + skipped %d != 8", er.Total, er.Skipped)
+	}
+
+	// Out-of-range n is rejected before the queue.
+	code, _, _ = postJSON(t, client, base+"/v1/evaluate", EvaluateRequest{Seed: 3, N: 0})
+	if code != http.StatusBadRequest {
+		t.Fatalf("n=0 status = %d, want 400", code)
+	}
+	drain(t, cancel, errc)
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"veriopt/internal/oracle"
+)
+
+// TestServeSmoke is the acceptance gate behind `make serve-smoke`:
+// the server must sustain >= 100 concurrent /v1/verify requests
+// through the bounded queue — every response a 200 verdict or an
+// explicit 429 shed, never an error or a hang — expose the oracle hit
+// rate and queue depth on /metrics, and drain with no goroutine left.
+func TestServeSmoke(t *testing.T) {
+	before := runtime.NumGoroutine()
+	st := oracle.NewStack(oracle.Config{})
+	s, base, cancel, errc := start(t, Config{Workers: 4, QueueSize: 64, Oracle: st})
+	tr := &http.Transport{MaxIdleConnsPerHost: 128}
+	client := &http.Client{Transport: tr, Timeout: 60 * time.Second}
+
+	// A small set of distinct peepholes, cycled: concurrent identical
+	// queries coalesce through the vcache singleflight, repeats hit
+	// the cache.
+	pairs := make([][2]string, 8)
+	for i := range pairs {
+		pairs[i] = [2]string{
+			fmt.Sprintf("define i32 @f(i32 noundef %%0) {\n  %%2 = add i32 %%0, 0\n  %%3 = add i32 %%2, %d\n  ret i32 %%3\n}\n", i),
+			fmt.Sprintf("define i32 @f(i32 noundef %%0) {\n  %%2 = add i32 %%0, %d\n  ret i32 %%2\n}\n", i),
+		}
+	}
+
+	const n = 120
+	codes := make([]int, n)
+	verdicts := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := pairs[i%len(pairs)]
+			code, body, _ := postJSON(t, client, base+"/v1/verify",
+				VerifyRequest{Src: p[0], Tgt: p[1]})
+			codes[i] = code
+			if code == http.StatusOK {
+				var vr VerifyResponse
+				if err := json.Unmarshal(body, &vr); err == nil {
+					verdicts[i] = vr.Verdict
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	ok, shed := 0, 0
+	for i, code := range codes {
+		switch code {
+		case http.StatusOK:
+			ok++
+			if verdicts[i] != "equivalent" {
+				t.Errorf("request %d verdict = %q, want equivalent", i, verdicts[i])
+			}
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Errorf("request %d status = %d, want 200 or 429", i, code)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no request succeeded")
+	}
+	t.Logf("smoke: %d ok, %d shed of %d concurrent", ok, shed, n)
+
+	// The cache must have answered most of the load: 8 distinct
+	// queries, everything else hits or coalesces.
+	cs := st.Engine.Stats()
+	if cs.Misses > uint64(len(pairs)) {
+		t.Errorf("solver ran %d times for %d distinct queries", cs.Misses, len(pairs))
+	}
+	if cs.Hits == 0 {
+		t.Error("no cache hits under concurrent identical load")
+	}
+
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(blob)
+	for _, want := range []string{
+		"veriopt_vcache_hit_rate ",
+		"veriopt_queue_depth ",
+		"veriopt_queue_capacity 64",
+		`veriopt_requests_total{endpoint="/v1/verify",code="200"} `,
+		`veriopt_oracle_total{counter="equivalent"} `,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	drain(t, cancel, errc)
+	if s.QueueDepth() != 0 {
+		t.Errorf("queue depth %d after drain", s.QueueDepth())
+	}
+	tr.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutines: %d before, %d after drain", before, g)
+	}
+}

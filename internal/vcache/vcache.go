@@ -68,8 +68,12 @@ type Stats struct {
 	// BudgetExhausted counts verifier runs that hit the SAT conflict
 	// budget (Inconclusive verdicts from solver exhaustion).
 	BudgetExhausted uint64
-	// Canceled counts compute runs that ended canceled; their results
-	// were returned to the caller but not stored.
+	// Canceled counts queries that ended canceled: compute runs whose
+	// context expired mid-solve (result returned but not stored),
+	// dedup waiters whose own context expired before the owner's
+	// result arrived, and queries whose context was already done at
+	// entry. None of these are Hits or Misses — a canceled query was
+	// never answered.
 	Canceled uint64
 	// Entries is the current cache population.
 	Entries int
@@ -79,14 +83,33 @@ type Stats struct {
 	WallTime time.Duration
 }
 
+// HitRate returns Hits/Queries, or 0 for an idle engine.
+func (s Stats) HitRate() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Queries)
+}
+
+// Counters returns the snapshot's monotonic counters under stable
+// snake_case names, for metrics exporters (the serving layer's
+// Prometheus endpoint, obs event fields). Entries and WallTime are
+// excluded: they are gauges, not counters.
+func (s Stats) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"queries":          s.Queries,
+		"hits":             s.Hits,
+		"misses":           s.Misses,
+		"evictions":        s.Evictions,
+		"budget_exhausted": s.BudgetExhausted,
+		"canceled":         s.Canceled,
+	}
+}
+
 // String renders the snapshot for logs and EXPERIMENTS.md.
 func (s Stats) String() string {
-	hitRate := 0.0
-	if s.Queries > 0 {
-		hitRate = float64(s.Hits) / float64(s.Queries)
-	}
 	return fmt.Sprintf("vcache: %d queries, %d hits (%.1f%%), %d misses, %d evictions, %d budget-exhausted, %d canceled, %d entries, %v solver wall time",
-		s.Queries, s.Hits, 100*hitRate, s.Misses, s.Evictions, s.BudgetExhausted, s.Canceled, s.Entries, s.WallTime.Round(time.Millisecond))
+		s.Queries, s.Hits, 100*s.HitRate(), s.Misses, s.Evictions, s.BudgetExhausted, s.Canceled, s.Entries, s.WallTime.Round(time.Millisecond))
 }
 
 // call is one in-flight computation, shared by duplicate queriers.
@@ -138,8 +161,24 @@ func KeyOfFunc(f *ir.Function) string { return ir.FingerprintText(ir.CanonicalTe
 // as their own ctx ends. Canceled results (ctx ended mid-compute) are
 // returned but never stored, so a later query under a live context
 // re-runs the verifier.
+//
+// Stats classification: a query answered from the cache or from an
+// in-flight duplicate counts as a Hit; a query that returns early
+// because its own ctx ended (already done at entry, or expiring while
+// waiting on a duplicate) counts as Canceled, not as a Hit — it was
+// never answered.
 func (e *Engine) Do(ctx context.Context, k Key, compute func() alive.Result) alive.Result {
 	e.queries.Add(1)
+
+	// A context that is already done cannot be answered: skip the
+	// cache and the solver alike and return promptly, counted under
+	// Canceled so the hit rate only reflects answered queries.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			e.canceled.Add(1)
+			return alive.CanceledResult(err)
+		}
+	}
 
 	e.mu.Lock()
 	if res, ok := e.entries[k]; ok {
@@ -149,15 +188,19 @@ func (e *Engine) Do(ctx context.Context, k Key, compute func() alive.Result) ali
 	}
 	if c, ok := e.inflight[k]; ok {
 		e.mu.Unlock()
-		e.hits.Add(1)
 		if ctx == nil {
 			<-c.done
+			e.hits.Add(1)
 			return c.res
 		}
 		select {
 		case <-c.done:
+			e.hits.Add(1)
 			return c.res
 		case <-ctx.Done():
+			// The waiter gave up before the owner's result arrived:
+			// it got a Canceled result, not a cache answer.
+			e.canceled.Add(1)
 			return alive.CanceledResult(ctx.Err())
 		}
 	}

@@ -144,6 +144,129 @@ func TestDuplicateWaiterUnblocksOnOwnCancel(t *testing.T) {
 	close(release)
 }
 
+// TestPreCanceledContextShortCircuits: a query whose context is
+// already done at entry must return a Canceled result without running
+// the solver, counted under Canceled — not Hits or Misses.
+func TestPreCanceledContextShortCircuits(t *testing.T) {
+	e := New(Config{})
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	r := e.Do(ctx, keyN(0), func() alive.Result {
+		t.Error("compute ran under a pre-canceled context")
+		return equivalent()
+	})
+	if !r.Canceled || r.Verdict != alive.Inconclusive {
+		t.Fatalf("result = %+v, want canceled inconclusive", r)
+	}
+	s := e.Stats()
+	if s.Queries != 1 || s.Hits != 0 || s.Misses != 0 || s.Canceled != 1 {
+		t.Fatalf("pre-canceled query misclassified: %+v", s)
+	}
+	if s.Entries != 0 {
+		t.Fatalf("pre-canceled query stored an entry: %+v", s)
+	}
+}
+
+// TestWaiterCancelCountsCanceledNotHit: a dedup waiter whose own
+// context expires returns a Canceled result — it was never answered,
+// so it must count under Canceled, not inflate the hit rate.
+func TestWaiterCancelCountsCanceledNotHit(t *testing.T) {
+	e := New(Config{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	ownerDone := make(chan alive.Result, 1)
+	go func() {
+		ownerDone <- e.Do(bg, keyN(3), func() alive.Result {
+			close(started)
+			<-release
+			return equivalent()
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan alive.Result, 1)
+	go func() {
+		waiterDone <- e.Do(ctx, keyN(3), func() alive.Result {
+			t.Error("duplicate caller ran compute")
+			return equivalent()
+		})
+	}()
+	cancel()
+	select {
+	case r := <-waiterDone:
+		if !r.Canceled {
+			t.Fatalf("waiter result = %+v, want canceled", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter did not unblock on its own cancel")
+	}
+	s := e.Stats()
+	if s.Hits != 0 {
+		t.Fatalf("canceled waiter counted as a hit: %+v", s)
+	}
+	if s.Canceled != 1 {
+		t.Fatalf("canceled waiter not counted under Canceled: %+v", s)
+	}
+
+	close(release)
+	if r := <-ownerDone; r.Verdict != alive.Equivalent {
+		t.Fatalf("owner result = %+v", r)
+	}
+	// The owner's live run and a subsequent cached answer classify as
+	// before: one miss, then one genuine hit.
+	if r := e.Do(bg, keyN(3), func() alive.Result {
+		t.Error("compute re-ran for a cached verdict")
+		return equivalent()
+	}); r.Verdict != alive.Equivalent {
+		t.Fatalf("cached result = %+v", r)
+	}
+	s = e.Stats()
+	if s.Queries != 3 || s.Hits != 1 || s.Misses != 1 || s.Canceled != 1 {
+		t.Fatalf("final stats misclassified: %+v", s)
+	}
+}
+
+// TestWaiterAnsweredByOwnerIsHit pins the other side of the waiter
+// classification: a dedup waiter that does receive the owner's result
+// is a hit.
+func TestWaiterAnsweredByOwnerIsHit(t *testing.T) {
+	e := New(Config{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	ownerDone := make(chan alive.Result, 1)
+	go func() {
+		ownerDone <- e.Do(bg, keyN(4), func() alive.Result {
+			close(started)
+			<-release
+			return equivalent()
+		})
+	}()
+	<-started
+	waiterDone := make(chan alive.Result, 1)
+	go func() {
+		ctx, cancel := context.WithCancel(bg)
+		defer cancel()
+		waiterDone <- e.Do(ctx, keyN(4), func() alive.Result {
+			t.Error("duplicate caller ran compute")
+			return equivalent()
+		})
+	}()
+	// Give the waiter a moment to join the in-flight call, then let
+	// the owner finish; the waiter must come back with the owner's
+	// verdict and count as a hit.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	<-ownerDone
+	if r := <-waiterDone; r.Verdict != alive.Equivalent || r.Canceled {
+		t.Fatalf("waiter result = %+v, want owner's equivalent", r)
+	}
+	s := e.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Canceled != 0 {
+		t.Fatalf("answered waiter misclassified: %+v", s)
+	}
+}
+
 func TestEvictionRespectsBound(t *testing.T) {
 	e := New(Config{MaxEntries: 2})
 	for i := 0; i < 5; i++ {
