@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 lint serve-smoke bench bench-workers
+.PHONY: all tier1 tier2 lint serve-smoke resume-smoke bench bench-workers
 
 all: tier1 tier2
 
@@ -16,7 +16,7 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: lint serve-smoke
+tier2: lint serve-smoke resume-smoke
 	$(GO) test -race ./...
 
 # Serving-layer acceptance gate: >=100 concurrent /v1/verify requests
@@ -24,6 +24,12 @@ tier2: lint serve-smoke
 # oracle hit rate + queue depth on /metrics, goroutine-clean drain.
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 ./internal/server
+
+# Durable-runs acceptance gate: train, kill mid-run (twice, at
+# different depths), resume from the checkpoint, and require the final
+# Model-Latency bytes to equal an uninterrupted run's.
+resume-smoke:
+	$(GO) test -run TestResumeSmoke -count=1 ./internal/pipeline
 
 # lint fails on any vet diagnostic or unformatted file.
 lint:

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"veriopt/internal/ckpt"
+	"veriopt/internal/obs"
+	"veriopt/internal/oracle"
+)
+
+// loadCacheFile warm-starts the stack's verdict cache from a -cache-file
+// snapshot. A missing file is a cold start, not an error: the first
+// flush creates it. A present-but-unreadable file is an error — a
+// half-loaded cache would silently change hit rates.
+func loadCacheFile(stack *oracle.Stack, path string, rec *obs.Recorder) error {
+	if path == "" {
+		return nil
+	}
+	if !ckpt.Exists(path) {
+		fmt.Fprintf(os.Stderr, "verdict cache %s not found, starting cold\n", path)
+		return nil
+	}
+	n, err := stack.Engine.LoadFile(path)
+	if err != nil {
+		return fmt.Errorf("load verdict cache: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "verdict cache warm start: %d entries from %s\n", n, path)
+	rec.Emit(obs.Event{Kind: "checkpoint", Note: fmt.Sprintf("cache loaded: %d entries", n)})
+	return nil
+}
+
+// flushCacheFile persists the stack's verdict cache to path
+// atomically. Flush failures are reported, not fatal: the results the
+// cache accelerated have already been produced.
+func flushCacheFile(stack *oracle.Stack, path string, rec *obs.Recorder) {
+	if path == "" {
+		return
+	}
+	n, err := stack.Engine.SaveFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error: flush verdict cache:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "verdict cache flushed: %d entries to %s\n", n, path)
+	rec.Emit(obs.Event{Kind: "checkpoint", Note: fmt.Sprintf("cache flushed: %d entries", n)})
+}

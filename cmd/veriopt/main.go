@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"veriopt/internal/alive"
+	"veriopt/internal/ckpt"
 	"veriopt/internal/dataset"
 	"veriopt/internal/experiments"
 	"veriopt/internal/instcombine"
@@ -172,6 +173,7 @@ func reportVerifierStats(o oracle.Oracle) {
 func cmdExperiments(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	run := fs.String("run", "all", "experiment id or 'all'")
+	cacheFile := fs.String("cache-file", "", "verdict-cache snapshot: load at start, flush at exit (warm-starts reruns)")
 	n, seed, s1, s2, s3, workers, trace := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -183,6 +185,11 @@ func cmdExperiments(ctx context.Context, args []string) error {
 	defer closeTrace()
 	c := buildContext(ctx, rec, *n, *seed, *s1, *s2, *s3, *workers)
 	defer reportVerifierStats(c.Oracle)
+	stack := oracle.Default()
+	if err := loadCacheFile(stack, *cacheFile, rec); err != nil {
+		return err
+	}
+	defer flushCacheFile(stack, *cacheFile, rec)
 	ids := experiments.IDs()
 	if *run != "all" {
 		ids = strings.Split(*run, ",")
@@ -206,7 +213,11 @@ func cmdExperiments(ctx context.Context, args []string) error {
 
 func cmdTrain(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
-	save := fs.String("save", "", "write the trained Model-Latency policy to this JSON file")
+	save := fs.String("save", "", "write the most advanced trained policy to this JSON file (atomic write; on interrupt, whatever finished)")
+	checkpoint := fs.String("checkpoint", "", "checkpoint directory: snapshot after every stage boundary and every -ckpt-every steps")
+	resume := fs.Bool("resume", false, "continue from the checkpoint in -checkpoint (bit-identical to an uninterrupted run)")
+	ckptEvery := fs.Int("ckpt-every", pipeline.DefaultCkptEvery, "mid-stage checkpoint cadence in GRPO steps")
+	cacheFile := fs.String("cache-file", "", "verdict-cache snapshot: load at start, flush at exit (warm-starts reruns)")
 	n, seed, s1, s2, s3, workers, trace := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -217,12 +228,26 @@ func cmdTrain(ctx context.Context, args []string) error {
 	}
 	defer closeTrace()
 	c := buildContext(ctx, rec, *n, *seed, *s1, *s2, *s3, *workers)
+	if *checkpoint != "" {
+		c.Cfg.Stage.Ckpt = &pipeline.CkptConfig{Dir: *checkpoint, Every: *ckptEvery, Resume: *resume}
+	}
 	defer reportVerifierStats(c.Oracle)
+	stack := oracle.Default()
+	if err := loadCacheFile(stack, *cacheFile, rec); err != nil {
+		return err
+	}
+	defer flushCacheFile(stack, *cacheFile, rec)
 	rec.Emit(obs.Event{Kind: "run_start", Note: "train"})
 
 	res, runErr := c.Pipeline()
 	if res == nil {
 		return runErr
+	}
+	// Persist whatever finished before anything below can fail: the
+	// -save file must be written even when the run was interrupted or
+	// a later evaluation errors.
+	if err := savePolicy(res, *save); err != nil {
+		return err
 	}
 	// Print the evaluation table for every model that finished
 	// training — on SIGINT that is the partial report; unfinished
@@ -275,16 +300,47 @@ func cmdTrain(ctx context.Context, args []string) error {
 		return runErr
 	}
 	rec.Emit(obs.Event{Kind: "run_end"})
-	if *save != "" {
-		blob, err := json.MarshalIndent(res.Latency, "", " ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(*save, blob, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("saved Model-Latency policy to %s\n", *save)
+	return nil
+}
+
+// savePolicy writes the most advanced trained policy in res to path
+// atomically (write-to-temp + rename, so an interrupt mid-write never
+// corrupts an existing model file). On an interrupted run that is the
+// latest stage that finished, reported by name.
+func savePolicy(res *pipeline.Result, path string) error {
+	if path == "" {
+		return nil
 	}
+	var (
+		name  string
+		model *policy.Model
+	)
+	for _, r := range []struct {
+		name string
+		m    *policy.Model
+	}{
+		{"model-latency", res.Latency},
+		{"model-correctness", res.Correctness},
+		{"warm-up", res.WarmUp},
+		{"model-zero", res.ModelZero},
+	} {
+		if r.m != nil {
+			name, model = r.name, r.m
+			break
+		}
+	}
+	if model == nil {
+		fmt.Fprintf(os.Stderr, "-save: no stage finished before interrupt, nothing written to %s\n", path)
+		return nil
+	}
+	blob, err := json.MarshalIndent(model, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := ckpt.WriteFileAtomic(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("saved %s policy to %s\n", name, path)
 	return nil
 }
 

@@ -35,6 +35,9 @@ func cmdServe(ctx context.Context, args []string) error {
 		"default per-request deadline, queue wait included (requests may set their own timeout_ms)")
 	grace := fs.Duration("grace", server.DefaultGracePeriod, "drain deadline after SIGTERM/SIGINT")
 	trace := fs.String("trace", "", "write JSON-lines request-span events to this file ('-' = stderr)")
+	cacheFile := fs.String("cache-file", "",
+		"verdict-cache snapshot: load at boot (warm start), flush every -cache-flush and on graceful shutdown")
+	cacheFlush := fs.Duration("cache-flush", time.Minute, "periodic verdict-cache flush interval for -cache-file (0 = only at shutdown)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +65,27 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	o := oracle.Default()
 	defer reportVerifierStats(o)
+	if err := loadCacheFile(o, *cacheFile, rec); err != nil {
+		return err
+	}
+	// The final flush (after the drain) captures everything; periodic
+	// flushes bound the loss window of a hard kill. SaveFile is atomic,
+	// so a flush racing the final one never corrupts the snapshot.
+	defer flushCacheFile(o, *cacheFile, rec)
+	if *cacheFile != "" && *cacheFlush > 0 {
+		go func() {
+			t := time.NewTicker(*cacheFlush)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					flushCacheFile(o, *cacheFile, rec)
+				}
+			}
+		}()
+	}
 
 	srv := server.New(server.Config{
 		Workers:        *workers,

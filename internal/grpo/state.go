@@ -1,0 +1,129 @@
+package grpo
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"veriopt/internal/dataset"
+	"veriopt/internal/policy"
+)
+
+// TrainerState is the serializable snapshot of a Trainer mid-run: the
+// model parameters, the corpus cursor, the step count, the seed, and
+// the harvested failures. Together with the (deterministic) corpus
+// and config, this is everything a resumed run needs to continue the
+// exact trajectory an uninterrupted run would have produced — every
+// episode's RNG is derived from (Seed, Cursor, group index) alone, so
+// no generator state needs to survive the restart.
+type TrainerState struct {
+	// Seed is the trainer seed episode RNGs derive from.
+	Seed int64 `json:"seed"`
+	// Cursor is the corpus position the next step's batch starts at.
+	Cursor int `json:"cursor"`
+	// StepsDone counts completed optimization steps
+	// (== len(RewardHistory)).
+	StepsDone int `json:"steps_done"`
+	// RewardHistory is the per-step mean raw reward so far.
+	RewardHistory []float64 `json:"reward_history,omitempty"`
+	// Model is the policy's own JSON serialization.
+	Model json.RawMessage `json:"model"`
+	// Failures are the harvested Model Zero mistakes (stage 1 only).
+	Failures []FailureState `json:"failures,omitempty"`
+}
+
+// FailureState is the durable form of a FailureSample. The sample is
+// referenced by name — the corpus is regenerated deterministically
+// from its seed on resume, so the name re-links to the identical
+// sample without serializing IR.
+type FailureState struct {
+	Sample      string   `json:"sample"`
+	AttemptText string   `json:"attempt_text"`
+	TrueDiag    string   `json:"true_diag,omitempty"`
+	TrueClass   int      `json:"true_class"`
+	UsedRules   []string `json:"used_rules,omitempty"`
+}
+
+// Snapshot captures the trainer's current state. The snapshot is
+// taken between steps (the trainer has no mid-step durable state:
+// a canceled step rewinds the cursor and leaves no trace), so
+// restoring it and running the remaining steps is bit-identical to
+// never having stopped.
+func (tr *Trainer) Snapshot() (*TrainerState, error) {
+	blob, err := json.Marshal(tr.Model)
+	if err != nil {
+		return nil, fmt.Errorf("grpo: snapshot model: %w", err)
+	}
+	st := &TrainerState{
+		Seed:          tr.seed,
+		Cursor:        tr.cursor,
+		StepsDone:     len(tr.RewardHistory),
+		RewardHistory: append([]float64(nil), tr.RewardHistory...),
+		Model:         blob,
+	}
+	st.Failures = SuspendFailures(tr.Failures)
+	return st, nil
+}
+
+// Restore rewinds the trainer to a snapshot: model parameters, seed,
+// cursor, reward history, and failures (re-linked by sample name
+// against tr.Data). The trainer must have been constructed with the
+// same corpus and config as the snapshotted one; Restore validates
+// what it can (sample names) and trusts the caller for the rest —
+// pipeline-level checkpoints carry a config fingerprint for that.
+func (tr *Trainer) Restore(st *TrainerState) error {
+	if err := json.Unmarshal(st.Model, tr.Model); err != nil {
+		return fmt.Errorf("grpo: restore model: %w", err)
+	}
+	fails, err := ResumeFailures(st.Failures, tr.Data)
+	if err != nil {
+		return err
+	}
+	tr.seed = st.Seed
+	tr.cursor = st.Cursor
+	tr.RewardHistory = append([]float64(nil), st.RewardHistory...)
+	tr.Failures = fails
+	return nil
+}
+
+// SuspendFailures converts harvested failures to their durable form.
+func SuspendFailures(fails []*FailureSample) []FailureState {
+	out := make([]FailureState, 0, len(fails))
+	for _, f := range fails {
+		out = append(out, FailureState{
+			Sample:      f.Sample.Name,
+			AttemptText: f.AttemptText,
+			TrueDiag:    f.TrueDiag,
+			TrueClass:   int(f.TrueClass),
+			UsedRules:   append([]string(nil), f.UsedRules...),
+		})
+	}
+	return out
+}
+
+// ResumeFailures re-links durable failures against a corpus, failing
+// loudly when a referenced sample is missing (the corpus seed or size
+// changed — the checkpoint belongs to a different run).
+func ResumeFailures(states []FailureState, data []*dataset.Sample) ([]*FailureSample, error) {
+	if len(states) == 0 {
+		return nil, nil
+	}
+	byName := make(map[string]*dataset.Sample, len(data))
+	for _, s := range data {
+		byName[s.Name] = s
+	}
+	out := make([]*FailureSample, 0, len(states))
+	for _, st := range states {
+		s, ok := byName[st.Sample]
+		if !ok {
+			return nil, fmt.Errorf("grpo: restored failure references unknown sample %q (corpus changed?)", st.Sample)
+		}
+		out = append(out, &FailureSample{
+			Sample:      s,
+			AttemptText: st.AttemptText,
+			TrueDiag:    st.TrueDiag,
+			TrueClass:   policy.DiagClass(st.TrueClass),
+			UsedRules:   append([]string(nil), st.UsedRules...),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,302 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"veriopt/internal/ckpt"
+	"veriopt/internal/dataset"
+	"veriopt/internal/grpo"
+	"veriopt/internal/obs"
+	"veriopt/internal/policy"
+	"veriopt/internal/sft"
+)
+
+// CkptConfig makes a curriculum run durable: RunCtx writes an atomic
+// checkpoint into Dir after every stage boundary and every Every GRPO
+// steps, and — with Resume — continues an interrupted run from the
+// latest checkpoint such that the resumed trajectory is bit-identical
+// to an uninterrupted one (per-episode RNGs are derived from the seed
+// and corpus cursor, both checkpointed; a canceled step leaves no
+// partial state to lose).
+type CkptConfig struct {
+	// Dir is the checkpoint directory ("" disables checkpointing).
+	Dir string
+	// Every is the mid-stage snapshot cadence in GRPO steps (<= 0
+	// selects DefaultCkptEvery). Stage boundaries always snapshot.
+	Every int
+	// Resume loads an existing checkpoint in Dir and continues it.
+	// Without Resume, an existing checkpoint is an error — a run never
+	// silently overwrites durable state it did not write.
+	Resume bool
+}
+
+// DefaultCkptEvery is the mid-stage snapshot cadence used when
+// CkptConfig.Every is unset.
+const DefaultCkptEvery = 20
+
+const (
+	ckptFileName = "curriculum.ckpt"
+	ckptKind     = "curriculum"
+)
+
+// Curriculum stage indices, in execution order. A checkpoint's Stage
+// is the first stage that has NOT completed yet.
+const (
+	stageModelZero = iota
+	stageWarmUp
+	stageCorrectness
+	stageLatency
+	stageDone
+)
+
+var stageNames = [...]string{"model-zero", "warm-up", "model-correctness", "model-latency", "done"}
+
+// curriculumState is the durable form of a curriculum run. Base is
+// not stored: it is rebuilt deterministically from (Capacity, Seed).
+type curriculumState struct {
+	// ConfigSig fingerprints the run configuration; resume refuses a
+	// checkpoint written under a different one (the determinism
+	// guarantee would be silently void).
+	ConfigSig string `json:"config_sig"`
+	// Stage is the first stage not yet completed (stageDone = run
+	// finished).
+	Stage int `json:"stage"`
+
+	ModelZero   json.RawMessage `json:"model_zero,omitempty"`
+	WarmUp      json.RawMessage `json:"warm_up,omitempty"`
+	Correctness json.RawMessage `json:"correctness,omitempty"`
+	Latency     json.RawMessage `json:"latency,omitempty"`
+
+	ZeroHistory        []float64 `json:"zero_history,omitempty"`
+	CorrectnessHistory []float64 `json:"correctness_history,omitempty"`
+	LatencyHistory     []float64 `json:"latency_history,omitempty"`
+
+	Failures []grpo.FailureState `json:"failures,omitempty"`
+	UMax     float64             `json:"umax,omitempty"`
+	SFTStats sft.Stats           `json:"sft_stats,omitempty"`
+
+	// Trainer is the mid-stage GRPO state when the checkpoint was
+	// taken inside the stage named by Stage (nil at boundaries).
+	Trainer *grpo.TrainerState `json:"trainer,omitempty"`
+	// Best/BestScore carry the dev-checkpoint selection state of a
+	// mid-stage snapshot (stages with best-checkpoint selection).
+	Best      json.RawMessage `json:"best,omitempty"`
+	BestScore float64         `json:"best_score,omitempty"`
+}
+
+// configSig fingerprints everything the trajectory depends on. The
+// process-local knobs that provably do not affect results (worker
+// counts at both levels, Oracle, Obs, Ckpt itself) are excluded, so
+// a run interrupted at one worker count resumes at any other.
+func configSig(cfg StageConfig, corpusLen int) string {
+	c := cfg
+	c.Workers = 0
+	c.GRPO.Workers = 0
+	c.Oracle = nil
+	c.Obs = nil
+	c.Ckpt = nil
+	return fmt.Sprintf("%+v|corpus=%d", c, corpusLen)
+}
+
+// ckptRunner owns the durable state of one RunCtx invocation. A
+// runner with a nil cfg is inert: saves are no-ops, state is
+// in-memory only. Always non-nil so RunCtx never branches on it.
+type ckptRunner struct {
+	cfg   *CkptConfig
+	rec   *obs.Recorder
+	path  string
+	every int
+	state *curriculumState
+}
+
+func (r *ckptRunner) enabled() bool { return r.cfg != nil }
+
+// newCkptRunner builds the runner for cfg, loading existing durable
+// state when resuming.
+func newCkptRunner(cfg StageConfig, train []*dataset.Sample) (*ckptRunner, error) {
+	r := &ckptRunner{rec: cfg.Obs, state: &curriculumState{Stage: stageModelZero}}
+	if cfg.Ckpt == nil || cfg.Ckpt.Dir == "" {
+		return r, nil
+	}
+	r.cfg = cfg.Ckpt
+	r.every = cfg.Ckpt.Every
+	if r.every <= 0 {
+		r.every = DefaultCkptEvery
+	}
+	if err := os.MkdirAll(cfg.Ckpt.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	r.path = filepath.Join(cfg.Ckpt.Dir, ckptFileName)
+	sig := configSig(cfg, len(train))
+	if !ckpt.Exists(r.path) {
+		r.state.ConfigSig = sig
+		return r, nil
+	}
+	if !cfg.Ckpt.Resume {
+		return nil, fmt.Errorf("pipeline: checkpoint already exists at %s (resume it, or remove the directory to start over)", r.path)
+	}
+	if err := ckpt.Load(r.path, ckptKind, r.state); err != nil {
+		return nil, err
+	}
+	if r.state.ConfigSig != sig {
+		return nil, fmt.Errorf("pipeline: checkpoint at %s was written under a different configuration; resuming it would not reproduce the original trajectory", r.path)
+	}
+	ckpt.CountEntriesLoaded(1)
+	r.rec.Emit(obs.Event{Kind: "checkpoint", Stage: stageNames[r.state.Stage], Note: "resumed"})
+	return r, nil
+}
+
+// apply copies a loaded checkpoint into the Result: completed-stage
+// models, histories, harvested failures, and curriculum scalars.
+func (r *ckptRunner) apply(res *Result, train []*dataset.Sample) error {
+	st := r.state
+	var err error
+	if res.ModelZero, err = unmarshalModel(st.ModelZero); err != nil {
+		return err
+	}
+	if res.WarmUp, err = unmarshalModel(st.WarmUp); err != nil {
+		return err
+	}
+	if res.Correctness, err = unmarshalModel(st.Correctness); err != nil {
+		return err
+	}
+	if res.Latency, err = unmarshalModel(st.Latency); err != nil {
+		return err
+	}
+	res.ZeroHistory = st.ZeroHistory
+	res.CorrectnessHistory = st.CorrectnessHistory
+	res.LatencyHistory = st.LatencyHistory
+	res.UMax = st.UMax
+	res.SFTStats = st.SFTStats
+	if res.Failures, err = grpo.ResumeFailures(st.Failures, train); err != nil {
+		return err
+	}
+	return nil
+}
+
+// boundary records a completed stage: next becomes the first
+// unfinished stage, mid-stage state is cleared, and the whole
+// curriculum state is snapshotted atomically.
+func (r *ckptRunner) boundary(next int, res *Result) error {
+	r.state.Stage = next
+	r.state.Trainer = nil
+	r.state.Best = nil
+	r.state.BestScore = 0
+	if !r.enabled() {
+		return nil
+	}
+	if err := r.fill(res); err != nil {
+		return err
+	}
+	return r.save("stage boundary")
+}
+
+// fill refreshes the durable copies of everything in res.
+func (r *ckptRunner) fill(res *Result) error {
+	var err error
+	if r.state.ModelZero, err = marshalModel(res.ModelZero); err != nil {
+		return err
+	}
+	if r.state.WarmUp, err = marshalModel(res.WarmUp); err != nil {
+		return err
+	}
+	if r.state.Correctness, err = marshalModel(res.Correctness); err != nil {
+		return err
+	}
+	if r.state.Latency, err = marshalModel(res.Latency); err != nil {
+		return err
+	}
+	r.state.ZeroHistory = res.ZeroHistory
+	r.state.CorrectnessHistory = res.CorrectnessHistory
+	r.state.LatencyHistory = res.LatencyHistory
+	r.state.UMax = res.UMax
+	r.state.SFTStats = res.SFTStats
+	r.state.Failures = grpo.SuspendFailures(res.Failures)
+	return nil
+}
+
+// stepSaver returns the per-step hook for a GRPO stage: every
+// r.every completed steps it snapshots the trainer (and the dev
+// best-checkpoint state, when the stage selects one) and writes the
+// checkpoint. Returns nil when checkpointing is disabled.
+func (r *ckptRunner) stepSaver(stage int, tr *grpo.Trainer, ds *devState) func(int) error {
+	if !r.enabled() {
+		return nil
+	}
+	return func(stepsDone int) error {
+		if stepsDone%r.every != 0 {
+			return nil
+		}
+		ts, err := tr.Snapshot()
+		if err != nil {
+			return err
+		}
+		r.state.Stage = stage
+		r.state.Trainer = ts
+		r.state.Best = nil
+		r.state.BestScore = 0
+		if ds != nil && ds.scored {
+			blob, err := json.Marshal(ds.best)
+			if err != nil {
+				return err
+			}
+			r.state.Best = blob
+			r.state.BestScore = ds.bestScore
+		}
+		return r.save(fmt.Sprintf("step %d", stepsDone))
+	}
+}
+
+// save writes the current state atomically and emits a checkpoint
+// trace event.
+func (r *ckptRunner) save(note string) error {
+	if err := ckpt.Save(r.path, ckptKind, r.state); err != nil {
+		return fmt.Errorf("pipeline: write checkpoint: %w", err)
+	}
+	r.rec.Emit(obs.Event{Kind: "checkpoint", Stage: stageNames[r.state.Stage], Note: note})
+	return nil
+}
+
+// resumeTrainer rewinds tr to the checkpointed mid-stage state when
+// the checkpoint stopped inside this stage, returning the step to
+// continue from (0 when starting fresh).
+func (r *ckptRunner) resumeTrainer(stage int, tr *grpo.Trainer, ds *devState) (int, error) {
+	st := r.state
+	if st.Stage != stage || st.Trainer == nil {
+		return 0, nil
+	}
+	if err := tr.Restore(st.Trainer); err != nil {
+		return 0, err
+	}
+	if ds != nil && len(st.Best) > 0 {
+		best, err := unmarshalModel(st.Best)
+		if err != nil {
+			return 0, err
+		}
+		ds.best = best
+		ds.bestScore = st.BestScore
+		ds.scored = true
+	}
+	return st.Trainer.StepsDone, nil
+}
+
+func marshalModel(m *policy.Model) (json.RawMessage, error) {
+	if m == nil {
+		return nil, nil
+	}
+	return json.Marshal(m)
+}
+
+func unmarshalModel(raw json.RawMessage) (*policy.Model, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	m := &policy.Model{}
+	if err := json.Unmarshal(raw, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,223 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/ckpt"
+	"veriopt/internal/dataset"
+	"veriopt/internal/grpo"
+	"veriopt/internal/ir"
+	"veriopt/internal/oracle"
+	"veriopt/internal/policy"
+	"veriopt/internal/sft"
+)
+
+func resumeCorpus(t *testing.T) []*dataset.Sample {
+	t.Helper()
+	samples, err := dataset.Generate(dataset.Config{Seed: 11, N: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func resumeStageConfig(dir string) StageConfig {
+	cfg := DefaultStageConfig()
+	cfg.Stage1Steps = 4
+	cfg.WarmupEpochs = 2
+	cfg.Stage2Steps = 10
+	cfg.Stage3Steps = 8
+	cfg.Workers = 2
+	if dir != "" {
+		cfg.Ckpt = &CkptConfig{Dir: dir, Every: 2, Resume: true}
+	}
+	return cfg
+}
+
+// cancelAfter wraps an oracle so the nth verification query pulls the
+// plug — a deterministic stand-in for SIGKILL landing mid-training.
+func cancelAfter(n int64, cancel context.CancelFunc, inner oracle.Oracle) oracle.Oracle {
+	var count atomic.Int64
+	return oracle.Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+		if count.Add(1) == n {
+			cancel()
+		}
+		return inner.Verify(ctx, src, tgt, opts)
+	})
+}
+
+func latencyBytes(t *testing.T, res *Result) []byte {
+	t.Helper()
+	if res.Latency == nil {
+		t.Fatal("run finished without a Model-Latency policy")
+	}
+	blob, err := json.Marshal(res.Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestResumeSmoke is the durable-runs acceptance gate (also wired as
+// `make resume-smoke`): train, kill mid-run via context cancel after
+// a checkpoint has been written, resume twice, and require the final
+// Model-Latency bytes to equal an uninterrupted run's.
+func TestResumeSmoke(t *testing.T) {
+	train := resumeCorpus(t)
+	dir := t.TempDir()
+
+	// Reference trajectory: one uninterrupted run, no checkpointing.
+	ref := resumeStageConfig("")
+	ref.Oracle = oracle.NewStack(oracle.Config{})
+	wantRes, err := RunCtx(context.Background(), train, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := latencyBytes(t, wantRes)
+
+	// Interrupted runs: cancel mid-training, then resume. Two kills at
+	// different depths exercise both mid-stage trainer rewind and
+	// stage-boundary resume; varying Workers across the segments
+	// exercises the worker-count-independence of the checkpoint
+	// fingerprint and of the resumed trajectory itself.
+	for i, kill := range []int64{260, 420} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cfg := resumeStageConfig(dir)
+		cfg.Workers = 2 + 2*i
+		cfg.Oracle = cancelAfter(kill, cancel, oracle.NewStack(oracle.Config{}))
+		_, err := RunCtx(ctx, train, cfg)
+		cancel()
+		if err == nil {
+			t.Fatalf("run with kill after %d queries finished uninterrupted — raise the step counts", kill)
+		}
+		if !ckpt.Exists(filepath.Join(dir, ckptFileName)) {
+			t.Fatalf("no checkpoint on disk after interrupt at %d queries", kill)
+		}
+	}
+
+	// Final resume runs to completion at yet another worker count.
+	cfg := resumeStageConfig(dir)
+	cfg.Workers = 3
+	cfg.Oracle = oracle.NewStack(oracle.Config{})
+	gotRes, err := RunCtx(context.Background(), train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := latencyBytes(t, gotRes)
+
+	if !bytes.Equal(want, got) {
+		t.Fatal("resumed Model-Latency bytes differ from the uninterrupted run")
+	}
+	// The full trajectory must match, not just the endpoint.
+	for name, pair := range map[string][2][]float64{
+		"zero":        {wantRes.ZeroHistory, gotRes.ZeroHistory},
+		"correctness": {wantRes.CorrectnessHistory, gotRes.CorrectnessHistory},
+		"latency":     {wantRes.LatencyHistory, gotRes.LatencyHistory},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("%s history lengths differ: %d vs %d", name, len(pair[0]), len(pair[1]))
+		}
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("%s history step %d differs: %v vs %v", name, i, pair[0][i], pair[1][i])
+			}
+		}
+	}
+
+	// A completed run resumes without touching the oracle at all.
+	cfg = resumeStageConfig(dir)
+	cfg.Oracle = oracle.Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+		t.Error("resume of a finished run issued a verification query")
+		return alive.Result{Verdict: alive.Inconclusive}
+	})
+	doneRes, err := RunCtx(context.Background(), train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, latencyBytes(t, doneRes)) {
+		t.Fatal("reloading a finished run changed the Model-Latency bytes")
+	}
+}
+
+func TestCkptRefusesOverwriteAndConfigDrift(t *testing.T) {
+	train := resumeCorpus(t)
+	dir := t.TempDir()
+
+	// Seed a checkpoint by interrupting a run early.
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := resumeStageConfig(dir)
+	cfg.Oracle = cancelAfter(120, cancel, oracle.NewStack(oracle.Config{}))
+	if _, err := RunCtx(ctx, train, cfg); err == nil {
+		t.Fatal("expected interrupt")
+	}
+	cancel()
+
+	// Without Resume, an existing checkpoint must refuse to run.
+	cfg = resumeStageConfig(dir)
+	cfg.Ckpt.Resume = false
+	if _, err := RunCtx(context.Background(), train, cfg); err == nil {
+		t.Fatal("existing checkpoint was silently overwritten")
+	}
+
+	// A different training configuration must refuse to resume.
+	cfg = resumeStageConfig(dir)
+	cfg.Seed = 999
+	if _, err := RunCtx(context.Background(), train, cfg); err == nil {
+		t.Fatal("checkpoint resumed under a different configuration")
+	}
+}
+
+// TestCkptStateRoundTrip checks the durable curriculum encoding alone
+// (no training): models, histories, failures, and scalars survive a
+// Save/Load cycle byte-exactly.
+func TestCkptStateRoundTrip(t *testing.T) {
+	train := resumeCorpus(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, ckptFileName)
+
+	m := policy.New(policy.CapQwen3B, 3)
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &curriculumState{
+		ConfigSig:   "sig",
+		Stage:       stageCorrectness,
+		ModelZero:   blob,
+		WarmUp:      blob,
+		ZeroHistory: []float64{0.25, 0.5},
+		Failures: []grpo.FailureState{{
+			Sample: train[0].Name, AttemptText: "x", TrueDiag: "ERROR: Value mismatch", TrueClass: 2,
+		}},
+		UMax:     3.5,
+		SFTStats: sft.Stats{CloneSteps: 7, DiagExamples: 3, TeacherMatchFrac: 0.5},
+	}
+	if err := ckpt.Save(path, ckptKind, in); err != nil {
+		t.Fatal(err)
+	}
+	out := &curriculumState{}
+	if err := ckpt.Load(path, ckptKind, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Stage != in.Stage || out.ConfigSig != in.ConfigSig || out.UMax != in.UMax ||
+		out.SFTStats != in.SFTStats || len(out.Failures) != 1 || out.Failures[0].Sample != train[0].Name {
+		t.Fatalf("state round trip mismatch: %+v", out)
+	}
+	restored, err := unmarshalModel(out.ModelZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := json.Marshal(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, back) {
+		t.Fatal("model bytes changed across the state round trip")
+	}
+}

@@ -45,6 +45,10 @@ type StageConfig struct {
 	// Obs, when non-nil, receives stage_start/stage_end trace events
 	// with wall time, verdict/cache deltas, and reward summaries.
 	Obs *obs.Recorder
+	// Ckpt, when non-nil with a Dir, makes the run durable: atomic
+	// checkpoints at stage boundaries and every Ckpt.Every GRPO steps,
+	// with bit-identical resume (see CkptConfig).
+	Ckpt *CkptConfig
 }
 
 // DefaultStageConfig returns the reduced-scale defaults.
@@ -137,32 +141,74 @@ func devEvalCtx(ctx context.Context, m *policy.Model, dev []*dataset.Sample, aug
 	return 2*rep.DifferentCorrectFrac() + GeomeanSpeedup(rep)/100, nil
 }
 
-// trainWithCheckpoints runs GRPO, evaluating on the dev split every
-// evalEvery steps and returning the best checkpoint (the paper's
-// "selecting the best checkpoint for evaluation"). On cancellation it
-// returns the best checkpoint seen so far with the context's error.
-func trainWithCheckpoints(ctx context.Context, tr *grpo.Trainer, steps, evalEvery int, dev []*dataset.Sample, augmented bool, ec EvalConfig) (*policy.Model, error) {
-	best := tr.Model.Clone()
-	bestScore, err := devEvalCtx(ctx, best, dev, augmented, ec)
-	if err != nil {
-		return best, err
+// devState is the best-checkpoint selection state of one GRPO stage.
+// It lives outside trainWithCheckpoints so a mid-stage snapshot can
+// persist it and a resumed run can continue selecting against the
+// same best — without it, resume would re-baseline and could pick a
+// different final model than the uninterrupted run.
+type devState struct {
+	best      *policy.Model
+	bestScore float64
+	// scored marks the initial dev evaluation done (always true once
+	// any step has completed, so snapshots never capture it false).
+	scored bool
+}
+
+// trainWithCheckpoints runs GRPO from step start, evaluating on the
+// dev split every evalEvery steps and keeping the best checkpoint in
+// ds (the paper's "selecting the best checkpoint for evaluation").
+// onStep, when non-nil, runs after every completed step with the count of
+// steps done — the durable-checkpoint hook. On cancellation it
+// returns the best model seen so far with the context's error. The
+// loop index continues from start, so a resumed stage replays the
+// exact evaluation schedule of an uninterrupted one.
+func trainWithCheckpoints(ctx context.Context, tr *grpo.Trainer, start, steps, evalEvery int, dev []*dataset.Sample, augmented bool, ec EvalConfig, ds *devState, onStep func(int) error) (*policy.Model, error) {
+	if !ds.scored {
+		ds.best = tr.Model.Clone()
+		score, err := devEvalCtx(ctx, ds.best, dev, augmented, ec)
+		if err != nil {
+			return ds.best, err
+		}
+		ds.bestScore = score
+		ds.scored = true
 	}
-	for i := 0; i < steps; i++ {
+	for i := start; i < steps; i++ {
 		if _, err := tr.StepCtx(ctx); err != nil {
-			return best, err
+			return ds.best, err
 		}
 		if (i+1)%evalEvery == 0 || i == steps-1 {
 			score, err := devEvalCtx(ctx, tr.Model, dev, augmented, ec)
 			if err != nil {
-				return best, err
+				return ds.best, err
 			}
-			if score > bestScore {
-				bestScore = score
-				best = tr.Model.Clone()
+			if score > ds.bestScore {
+				ds.bestScore = score
+				ds.best = tr.Model.Clone()
+			}
+		}
+		if onStep != nil {
+			if err := onStep(i + 1); err != nil {
+				return ds.best, err
 			}
 		}
 	}
-	return best, nil
+	return ds.best, nil
+}
+
+// runSteps drives a plain GRPO stage (no best-checkpoint selection)
+// from step start, invoking onStep after each completed step.
+func runSteps(ctx context.Context, tr *grpo.Trainer, start, steps int, onStep func(int) error) error {
+	for i := start; i < steps; i++ {
+		if _, err := tr.StepCtx(ctx); err != nil {
+			return err
+		}
+		if onStep != nil {
+			if err := onStep(i + 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Run executes the full curriculum on the training samples.
@@ -177,6 +223,12 @@ func Run(train []*dataset.Sample, cfg StageConfig) *Result {
 // with the context's error, and the interrupted stage's model is left
 // nil — its history, and every completed stage's model, survive for
 // partial reporting.
+//
+// With cfg.Ckpt set the run is durable: completed stages and
+// mid-stage trainer state are snapshotted atomically, and a resumed
+// run (CkptConfig.Resume) skips completed stages, rewinds the
+// interrupted trainer, and continues the exact trajectory — the final
+// models are bit-identical to an uninterrupted run's.
 func RunCtx(ctx context.Context, train []*dataset.Sample, cfg StageConfig) (*Result, error) {
 	res := &Result{}
 	res.Base = policy.New(cfg.Capacity, cfg.Seed)
@@ -191,85 +243,129 @@ func RunCtx(ctx context.Context, train []*dataset.Sample, cfg StageConfig) (*Res
 	}
 	dev := train[len(train)-devN:]
 
+	ck, err := newCkptRunner(cfg, train)
+	if err != nil {
+		return res, err
+	}
+	if err := ck.apply(res, train); err != nil {
+		return res, err
+	}
+
 	// Stage 1: Model Zero — raw GRPO with the generic prompt. Its
 	// training space, validated by the checker, yields the
 	// diagnostic-augmented corpus.
-	sp := beginStage(cfg.Obs, o, "model-zero")
-	zero := res.Base.Clone()
-	c1 := cfg.GRPO
-	c1.Mode = grpo.ModeCorrectness
-	c1.Augmented = false
-	t1 := grpo.NewTrainer(zero, train, c1, cfg.Seed+101)
-	t1.Oracle = o
-	t1.CollectFailures = true
-	_, err := t1.TrainCtx(ctx, cfg.Stage1Steps)
-	res.ZeroHistory = t1.RewardHistory
-	res.Failures = t1.Failures
-	if err != nil {
-		sp.end(len(t1.RewardHistory), t1.RewardHistory, "canceled")
-		return res, err
+	if ck.state.Stage <= stageModelZero {
+		sp := beginStage(cfg.Obs, o, "model-zero")
+		zero := res.Base.Clone()
+		c1 := cfg.GRPO
+		c1.Mode = grpo.ModeCorrectness
+		c1.Augmented = false
+		t1 := grpo.NewTrainer(zero, train, c1, cfg.Seed+101)
+		t1.Oracle = o
+		t1.CollectFailures = true
+		start, err := ck.resumeTrainer(stageModelZero, t1, nil)
+		if err != nil {
+			return res, err
+		}
+		err = runSteps(ctx, t1, start, cfg.Stage1Steps, ck.stepSaver(stageModelZero, t1, nil))
+		res.ZeroHistory = t1.RewardHistory
+		res.Failures = t1.Failures
+		if err != nil {
+			sp.end(len(t1.RewardHistory), t1.RewardHistory, "canceled")
+			return res, err
+		}
+		sp.end(cfg.Stage1Steps, t1.RewardHistory, "")
+		res.ModelZero = zero
+		if err := ck.boundary(stageWarmUp, res); err != nil {
+			return res, err
+		}
 	}
-	sp.end(cfg.Stage1Steps, t1.RewardHistory, "")
-	res.ModelZero = zero
 
 	// Stage 2a: Warm-up — SFT from the *base* model (Model Zero is
 	// only the sample generator, §III-C1) on first-time and
-	// correction-augmented samples.
-	sp = beginStage(cfg.Obs, o, "warm-up")
-	warm := res.Base.Clone()
-	sftCfg := cfg.SFT
-	sftCfg.Epochs = cfg.WarmupEpochs
-	res.SFTStats, err = sft.WarmUpCtx(ctx, warm, train, res.Failures, sftCfg)
-	if err != nil {
-		sp.end(res.SFTStats.CloneSteps, nil, "canceled")
-		return res, err
+	// correction-augmented samples. The stage is deterministic and
+	// fast, so it checkpoints only at its boundary: an interrupt
+	// mid-warm-up abandons the partial model and replays the stage.
+	if ck.state.Stage <= stageWarmUp {
+		sp := beginStage(cfg.Obs, o, "warm-up")
+		warm := res.Base.Clone()
+		sftCfg := cfg.SFT
+		sftCfg.Epochs = cfg.WarmupEpochs
+		res.SFTStats, err = sft.WarmUpCtx(ctx, warm, train, res.Failures, sftCfg)
+		if err != nil {
+			sp.end(res.SFTStats.CloneSteps, nil, "canceled")
+			return res, err
+		}
+		sp.end(res.SFTStats.CloneSteps, nil, "")
+		res.WarmUp = warm
+		if err := ck.boundary(stageCorrectness, res); err != nil {
+			return res, err
+		}
 	}
-	sp.end(res.SFTStats.CloneSteps, nil, "")
-	res.WarmUp = warm
 
 	// Stage 2b: Model-Correctness — GRPO with augmented prompts,
 	// Eq. 1 + Eq. 2.
-	sp = beginStage(cfg.Obs, o, "model-correctness")
-	corr := warm.Clone()
-	c2 := cfg.GRPO
-	c2.Mode = grpo.ModeCorrectnessCoT
-	c2.Augmented = true
-	// Stage 2 refines the warm-up solution; a gentler learning rate
-	// and larger groups avoid collapsing into the copy-and-predict-OK
-	// reward-hacking attractor that destabilizes raw GRPO (§III-C2).
-	c2.LR = cfg.GRPO.LR / 3
-	c2.GroupSize = cfg.GRPO.GroupSize + 2
-	c2.ClipNorm = cfg.GRPO.ClipNorm / 2
-	t2 := grpo.NewTrainer(corr, train, c2, cfg.Seed+202)
-	t2.Oracle = o
-	best2, err := trainWithCheckpoints(ctx, t2, cfg.Stage2Steps, 10, dev, true, ec)
-	res.CorrectnessHistory = t2.RewardHistory
-	if err != nil {
-		sp.end(len(t2.RewardHistory), t2.RewardHistory, "canceled")
-		return res, err
+	if ck.state.Stage <= stageCorrectness {
+		sp := beginStage(cfg.Obs, o, "model-correctness")
+		corr := res.WarmUp.Clone()
+		c2 := cfg.GRPO
+		c2.Mode = grpo.ModeCorrectnessCoT
+		c2.Augmented = true
+		// Stage 2 refines the warm-up solution; a gentler learning rate
+		// and larger groups avoid collapsing into the copy-and-predict-OK
+		// reward-hacking attractor that destabilizes raw GRPO (§III-C2).
+		c2.LR = cfg.GRPO.LR / 3
+		c2.GroupSize = cfg.GRPO.GroupSize + 2
+		c2.ClipNorm = cfg.GRPO.ClipNorm / 2
+		t2 := grpo.NewTrainer(corr, train, c2, cfg.Seed+202)
+		t2.Oracle = o
+		ds := &devState{}
+		start, err := ck.resumeTrainer(stageCorrectness, t2, ds)
+		if err != nil {
+			return res, err
+		}
+		best2, err := trainWithCheckpoints(ctx, t2, start, cfg.Stage2Steps, 10, dev, true, ec, ds, ck.stepSaver(stageCorrectness, t2, ds))
+		res.CorrectnessHistory = t2.RewardHistory
+		if err != nil {
+			sp.end(len(t2.RewardHistory), t2.RewardHistory, "canceled")
+			return res, err
+		}
+		sp.end(cfg.Stage2Steps, t2.RewardHistory, "")
+		res.Correctness = best2
+		if err := ck.boundary(stageLatency, res); err != nil {
+			return res, err
+		}
 	}
-	sp.end(cfg.Stage2Steps, t2.RewardHistory, "")
-	res.Correctness = best2
 
 	// Stage 3: Model-Latency — incremental GRPO with the latency
 	// reward; instcombine labels and the think-protocol are dropped.
-	sp = beginStage(cfg.Obs, o, "model-latency")
-	lat := res.Correctness.Clone()
-	res.UMax = grpo.ComputeUMax(train, cfg.UMaxPercentile)
-	c3 := cfg.GRPO
-	c3.Mode = grpo.ModeLatency
-	c3.Augmented = false
-	c3.Latency = grpo.LatencyRewardParams{UMax: res.UMax, Gamma: cfg.Gamma}
-	t3 := grpo.NewTrainer(lat, train, c3, cfg.Seed+303)
-	t3.Oracle = o
-	best3, err := trainWithCheckpoints(ctx, t3, cfg.Stage3Steps, 10, dev, false, ec)
-	res.LatencyHistory = t3.RewardHistory
-	if err != nil {
-		sp.end(len(t3.RewardHistory), t3.RewardHistory, "canceled")
-		return res, err
+	if ck.state.Stage <= stageLatency {
+		sp := beginStage(cfg.Obs, o, "model-latency")
+		lat := res.Correctness.Clone()
+		res.UMax = grpo.ComputeUMax(train, cfg.UMaxPercentile)
+		c3 := cfg.GRPO
+		c3.Mode = grpo.ModeLatency
+		c3.Augmented = false
+		c3.Latency = grpo.LatencyRewardParams{UMax: res.UMax, Gamma: cfg.Gamma}
+		t3 := grpo.NewTrainer(lat, train, c3, cfg.Seed+303)
+		t3.Oracle = o
+		ds := &devState{}
+		start, err := ck.resumeTrainer(stageLatency, t3, ds)
+		if err != nil {
+			return res, err
+		}
+		best3, err := trainWithCheckpoints(ctx, t3, start, cfg.Stage3Steps, 10, dev, false, ec, ds, ck.stepSaver(stageLatency, t3, ds))
+		res.LatencyHistory = t3.RewardHistory
+		if err != nil {
+			sp.end(len(t3.RewardHistory), t3.RewardHistory, "canceled")
+			return res, err
+		}
+		sp.end(cfg.Stage3Steps, t3.RewardHistory, "")
+		res.Latency = best3
+		if err := ck.boundary(stageDone, res); err != nil {
+			return res, err
+		}
 	}
-	sp.end(cfg.Stage3Steps, t3.RewardHistory, "")
-	res.Latency = best3
 
 	return res, nil
 }

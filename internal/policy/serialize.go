@@ -73,10 +73,33 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	if len(f.B) != nA || len(f.S) != nA || len(f.P) != nA || len(f.N) != nA {
 		return fmt.Errorf("policy: parameter shapes do not match %d actions", nA)
 	}
+	for a, row := range f.N {
+		if len(row) != f.Capacity.HashFeatures {
+			return fmt.Errorf("policy: noise row %d has %d features, capacity %q wants %d",
+				a, len(row), f.Capacity.Name, f.Capacity.HashFeatures)
+		}
+	}
+	nf := 5 + f.Capacity.HashFeatures
+	if len(f.DiagW) != int(numDiagClasses) {
+		return fmt.Errorf("policy: diagnosis head has %d class rows, want %d", len(f.DiagW), int(numDiagClasses))
+	}
+	for c, row := range f.DiagW {
+		if len(row) != nf {
+			return fmt.Errorf("policy: diagnosis class row %d has %d weights, want %d", c, len(row), nf)
+		}
+	}
+	if len(f.DiagSub) != numSubclasses {
+		return fmt.Errorf("policy: diagnosis head has %d subclass rows, want %d", len(f.DiagSub), numSubclasses)
+	}
+	for s, row := range f.DiagSub {
+		if len(row) != len(rules) {
+			return fmt.Errorf("policy: diagnosis subclass row %d scores %d rules, model has %d", s, len(row), len(rules))
+		}
+	}
 	m.Cap = f.Capacity
 	m.Rules = rules
 	m.B, m.S, m.P, m.N = f.B, f.S, f.P, f.N
-	m.Diag = &DiagHead{W: f.DiagW, Sub: f.DiagSub, nFeatures: 5 + f.Capacity.HashFeatures, nRules: len(rules)}
+	m.Diag = &DiagHead{W: f.DiagW, Sub: f.DiagSub, nFeatures: nf, nRules: len(rules)}
 	m.SelfCorrectGate = f.SelfCorrectGate
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"veriopt/internal/ckpt"
 	"veriopt/internal/obs"
 	"veriopt/internal/oracle"
 )
@@ -50,6 +51,26 @@ func (m *metricsRegistry) observe(endpoint string, code int, wall time.Duration)
 	m.requests[reqKey{endpoint, code}]++
 	m.latSum[endpoint] += wall.Seconds()
 	m.latCount[endpoint]++
+}
+
+// snapshot copies the counters out under the lock so rendering (string
+// formatting, sorting, writing) never blocks request accounting.
+func (m *metricsRegistry) snapshot() (requests map[reqKey]uint64, latSum map[string]float64, latCount map[string]uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	requests = make(map[reqKey]uint64, len(m.requests))
+	for k, v := range m.requests {
+		requests[k] = v
+	}
+	latSum = make(map[string]float64, len(m.latSum))
+	for k, v := range m.latSum {
+		latSum[k] = v
+	}
+	latCount = make(map[string]uint64, len(m.latCount))
+	for k, v := range m.latCount {
+		latCount[k] = v
+	}
+	return requests, latSum, latCount
 }
 
 // instrumented endpoints, the bounded label set for request metrics;
@@ -114,11 +135,12 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 
+	requests, latSum, latCount := s.metrics.snapshot()
+
 	b.WriteString("# HELP veriopt_requests_total Completed HTTP requests by endpoint and status code.\n")
 	b.WriteString("# TYPE veriopt_requests_total counter\n")
-	s.metrics.mu.Lock()
-	keys := make([]reqKey, 0, len(s.metrics.requests))
-	for k := range s.metrics.requests {
+	keys := make([]reqKey, 0, len(requests))
+	for k := range requests {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -129,20 +151,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 	for _, k := range keys {
 		fmt.Fprintf(&b, "veriopt_requests_total{endpoint=%q,code=\"%d\"} %d\n",
-			k.endpoint, k.code, s.metrics.requests[k])
+			k.endpoint, k.code, requests[k])
 	}
 	b.WriteString("# HELP veriopt_request_seconds End-to-end request latency sums (queue wait included).\n")
 	b.WriteString("# TYPE veriopt_request_seconds summary\n")
-	eps := make([]string, 0, len(s.metrics.latCount))
-	for ep := range s.metrics.latCount {
+	eps := make([]string, 0, len(latCount))
+	for ep := range latCount {
 		eps = append(eps, ep)
 	}
 	sort.Strings(eps)
 	for _, ep := range eps {
-		fmt.Fprintf(&b, "veriopt_request_seconds_sum{endpoint=%q} %g\n", ep, s.metrics.latSum[ep])
-		fmt.Fprintf(&b, "veriopt_request_seconds_count{endpoint=%q} %d\n", ep, s.metrics.latCount[ep])
+		fmt.Fprintf(&b, "veriopt_request_seconds_sum{endpoint=%q} %g\n", ep, latSum[ep])
+		fmt.Fprintf(&b, "veriopt_request_seconds_count{endpoint=%q} %d\n", ep, latCount[ep])
 	}
-	s.metrics.mu.Unlock()
 
 	b.WriteString("# HELP veriopt_requests_shed_total Requests shed with 429 because the work queue was full.\n")
 	b.WriteString("# TYPE veriopt_requests_shed_total counter\n")
@@ -154,6 +175,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b.WriteString("# HELP veriopt_queue_capacity Work-queue bound.\n")
 	b.WriteString("# TYPE veriopt_queue_capacity gauge\n")
 	fmt.Fprintf(&b, "veriopt_queue_capacity %d\n", s.cfg.QueueSize)
+
+	b.WriteString("# HELP veriopt_ckpt_total Checkpoint subsystem counters (snapshots written, entries loaded, restore errors) since process start.\n")
+	b.WriteString("# TYPE veriopt_ckpt_total counter\n")
+	writeCounters(&b, "veriopt_ckpt_total", ckpt.Counters())
 
 	if src, ok := s.oracle.(oracle.StatsSource); ok {
 		ostats, cstats := src.OracleStats()

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/ir"
+	"veriopt/internal/oracle"
+)
+
+// TestWarmCacheServesWithoutSolver is the serve-side half of the
+// durable-cache contract: a server whose verdict cache was loaded
+// from a snapshot answers a known query entirely from the cache — the
+// live solver is never consulted.
+func TestWarmCacheServesWithoutSolver(t *testing.T) {
+	src, err := ir.ParseFunc(srcAddZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := ir.ParseFunc(tgtAddZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Populate a cache the expensive way, then snapshot it.
+	warm := oracle.NewStack(oracle.Config{})
+	if res := warm.Verify(context.Background(), src, tgt, alive.DefaultOptions()); res.Verdict != alive.Equivalent {
+		t.Fatalf("seed query verdict %v", res.Verdict)
+	}
+	var buf bytes.Buffer
+	if n, err := warm.Engine.SnapshotTo(&buf); err != nil || n != 1 {
+		t.Fatalf("snapshot: n=%d err=%v", n, err)
+	}
+
+	// The warm-started server's base verifier must stay cold.
+	cold := oracle.NewStack(oracle.Config{
+		Base: oracle.Func(func(ctx context.Context, s, d *ir.Function, o alive.Options) alive.Result {
+			t.Error("live solver consulted despite warm cache")
+			return alive.Result{Verdict: alive.Inconclusive}
+		}),
+	})
+	if n, err := cold.Engine.LoadFrom(&buf); err != nil || n != 1 {
+		t.Fatalf("load: n=%d err=%v", n, err)
+	}
+
+	_, url, cancel, errc := start(t, Config{Workers: 2, Oracle: cold})
+	defer drain(t, cancel, errc)
+
+	code, body, _ := postJSON(t, http.DefaultClient, url+"/v1/verify",
+		VerifyRequest{Src: srcAddZero, Tgt: tgtAddZero})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Verdict != alive.Equivalent.String() {
+		t.Fatalf("warm verdict %q", vr.Verdict)
+	}
+
+	// /metrics must report the hit and export the checkpoint counters.
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mb bytes.Buffer
+	if _, err := mb.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	metrics := mb.String()
+	if !strings.Contains(metrics, `veriopt_vcache_total{counter="hits"} 1`) {
+		t.Errorf("metrics missing warm-cache hit:\n%s", metrics)
+	}
+	for _, counter := range []string{"snapshots_written", "entries_loaded", "restore_errors"} {
+		if !strings.Contains(metrics, `veriopt_ckpt_total{counter="`+counter+`"}`) {
+			t.Errorf("metrics missing veriopt_ckpt_total counter %q", counter)
+		}
+	}
+}

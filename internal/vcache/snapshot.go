@@ -1,0 +1,159 @@
+package vcache
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/ckpt"
+)
+
+// The verdict cache's durable form is JSON lines: one header object
+// followed by one object per cached verdict, in FIFO (insertion)
+// order, so a reloaded engine evicts in the same order the original
+// would have. Canceled results are transient by contract (see
+// alive.Result.Canceled) and are never written; a snapshot line
+// claiming one is skipped on load.
+
+// snapshotHeader is the first JSONL line of a cache snapshot.
+type snapshotHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Entries int    `json:"entries"`
+}
+
+const (
+	snapshotFormat  = "veriopt-vcache"
+	snapshotVersion = 1
+)
+
+// snapshotEntry is one cached verdict: the key and its result.
+type snapshotEntry struct {
+	Src  string        `json:"src"`
+	Dst  string        `json:"dst"`
+	Opts alive.Options `json:"opts"`
+	Res  alive.Result  `json:"res"`
+}
+
+// SnapshotTo writes the cache contents to w as JSON lines, preserving
+// FIFO order, and returns the number of entries written. The entry
+// set is copied under the lock and serialized outside it, so an
+// in-flight snapshot never blocks queries for longer than the copy.
+func (e *Engine) SnapshotTo(w io.Writer) (int, error) {
+	e.mu.Lock()
+	keys := make([]Key, 0, len(e.entries))
+	results := make([]alive.Result, 0, len(e.entries))
+	for _, k := range e.fifo {
+		res, ok := e.entries[k]
+		if !ok || res.Canceled {
+			continue
+		}
+		keys = append(keys, k)
+		results = append(results, res)
+	}
+	e.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(snapshotHeader{Format: snapshotFormat, Version: snapshotVersion, Entries: len(keys)}); err != nil {
+		return 0, err
+	}
+	for i, k := range keys {
+		ent := snapshotEntry{Src: k.Src, Dst: k.Dst, Opts: k.Opts, Res: results[i]}
+		if err := enc.Encode(ent); err != nil {
+			return i, err
+		}
+	}
+	return len(keys), bw.Flush()
+}
+
+// LoadFrom restores entries from a SnapshotTo stream into the engine,
+// preserving their FIFO order, and returns the number loaded. Loading
+// bypasses the query counters — a warm start is not a burst of hits —
+// but respects MaxEntries (overflow evicts oldest, counted as usual).
+// Canceled entries are skipped. A malformed line fails loudly rather
+// than silently truncating the cache.
+func (e *Engine) LoadFrom(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return 0, err
+		}
+		return 0, fmt.Errorf("vcache: empty snapshot")
+	}
+	var hdr snapshotHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return 0, fmt.Errorf("vcache: bad snapshot header: %w", err)
+	}
+	if hdr.Format != snapshotFormat {
+		return 0, fmt.Errorf("vcache: snapshot format %q, want %q", hdr.Format, snapshotFormat)
+	}
+	if hdr.Version != snapshotVersion {
+		return 0, fmt.Errorf("vcache: snapshot version %d, want %d", hdr.Version, snapshotVersion)
+	}
+	n := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ent snapshotEntry
+		if err := json.Unmarshal(line, &ent); err != nil {
+			return n, fmt.Errorf("vcache: snapshot entry %d: %w", n+1, err)
+		}
+		if ent.Res.Canceled {
+			continue
+		}
+		k := Key{Src: ent.Src, Dst: ent.Dst, Opts: ent.Opts}
+		e.mu.Lock()
+		e.store(k, ent.Res)
+		e.mu.Unlock()
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// SaveFile snapshots the cache to path atomically (write-to-temp +
+// fsync + rename via internal/ckpt) and returns the entry count. Safe
+// to call while queries are in flight and on every periodic flush: a
+// crash mid-save leaves the previous file intact.
+func (e *Engine) SaveFile(path string) (int, error) {
+	var buf bytes.Buffer
+	n, err := e.SnapshotTo(&buf)
+	if err != nil {
+		return n, err
+	}
+	if err := ckpt.WriteFileAtomic(path, buf.Bytes(), 0o644); err != nil {
+		return n, err
+	}
+	ckpt.CountSnapshot()
+	return n, nil
+}
+
+// LoadFile restores a SaveFile snapshot from path, returning the
+// number of entries loaded. Errors (including a missing file) count
+// as restore errors; callers that treat a missing file as a cold
+// start should check ckpt.Exists first.
+func (e *Engine) LoadFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		ckpt.CountRestoreError()
+		return 0, err
+	}
+	defer f.Close()
+	n, err := e.LoadFrom(f)
+	if err != nil {
+		ckpt.CountRestoreError()
+		return n, err
+	}
+	ckpt.CountEntriesLoaded(n)
+	return n, nil
+}

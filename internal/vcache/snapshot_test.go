@@ -1,0 +1,179 @@
+package vcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/ckpt"
+)
+
+func resN(i int) alive.Result {
+	return alive.Result{Verdict: alive.SemanticError, Diag: fmt.Sprintf("ERROR: Value mismatch %d", i),
+		Counterexample: map[string]uint64{"0": uint64(i)}, SolverConflicts: 10 * i}
+}
+
+func fill(t *testing.T, e *Engine, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		i := i
+		e.Do(bg, keyN(i), func() alive.Result { return resN(i) })
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := New(Config{})
+	fill(t, src, 5)
+
+	var buf bytes.Buffer
+	n, err := src.SnapshotTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("snapshot wrote %d entries, want 5", n)
+	}
+
+	dst := New(Config{})
+	loaded, err := dst.LoadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 5 {
+		t.Fatalf("loaded %d entries, want 5", loaded)
+	}
+	// Loading is not querying: counters stay zero, only the entry
+	// gauge moves.
+	s := dst.Stats()
+	if s.Queries != 0 || s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("load perturbed counters: %+v", s)
+	}
+	if s.Entries != 5 {
+		t.Fatalf("entries = %d, want 5", s.Entries)
+	}
+	// Every restored verdict answers from cache without compute.
+	for i := 0; i < 5; i++ {
+		got := dst.Do(bg, keyN(i), func() alive.Result {
+			t.Fatalf("compute ran for restored key %d", i)
+			return alive.Result{}
+		})
+		want := resN(i)
+		if got.Verdict != want.Verdict || got.Diag != want.Diag ||
+			got.SolverConflicts != want.SolverConflicts ||
+			got.Counterexample["0"] != want.Counterexample["0"] {
+			t.Fatalf("restored result %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if s := dst.Stats(); s.Hits != 5 {
+		t.Fatalf("hits = %d, want 5", s.Hits)
+	}
+}
+
+func TestSnapshotPreservesFIFOOrder(t *testing.T) {
+	src := New(Config{})
+	fill(t, src, 4)
+	var buf bytes.Buffer
+	if _, err := src.SnapshotTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load into a bounded engine and overflow it by one: the engine
+	// must evict the oldest snapshot entry (key 0), proving insertion
+	// order survived the round trip.
+	dst := New(Config{MaxEntries: 4})
+	if _, err := dst.LoadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	dst.Do(bg, keyN(9), func() alive.Result { return resN(9) })
+	s := dst.Stats()
+	if s.Evictions != 1 || s.Entries != 4 {
+		t.Fatalf("after overflow: %+v", s)
+	}
+	for i := 1; i < 4; i++ {
+		dst.Do(bg, keyN(i), func() alive.Result {
+			t.Fatalf("younger entry %d was evicted before the oldest", i)
+			return alive.Result{}
+		})
+	}
+	var computes int
+	dst.Do(bg, keyN(0), func() alive.Result { computes++; return resN(0) })
+	if computes != 1 {
+		t.Fatal("oldest entry (key 0) survived the overflow eviction")
+	}
+}
+
+func TestLoadFromSkipsCanceledEntries(t *testing.T) {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, `{"format":%q,"version":%d,"entries":2}`+"\n", snapshotFormat, snapshotVersion)
+	enc := func(ent snapshotEntry) {
+		b, err := json.Marshal(ent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	enc(snapshotEntry{Src: "a", Dst: "t", Opts: alive.DefaultOptions(), Res: resN(1)})
+	enc(snapshotEntry{Src: "b", Dst: "t", Opts: alive.DefaultOptions(),
+		Res: alive.CanceledResult(nil)})
+
+	e := New(Config{})
+	n, err := e.LoadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d entries, want 1 (canceled skipped)", n)
+	}
+	if s := e.Stats(); s.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", s.Entries)
+	}
+	var computes int
+	e.Do(bg, Key{Src: "b", Dst: "t", Opts: alive.DefaultOptions()},
+		func() alive.Result { computes++; return resN(2) })
+	if computes != 1 {
+		t.Fatal("canceled snapshot entry was served from cache")
+	}
+}
+
+func TestLoadFromRejectsBadHeaderAndMalformedLine(t *testing.T) {
+	e := New(Config{})
+	if _, err := e.LoadFrom(strings.NewReader("{\"format\":\"other\",\"version\":1}\n")); err == nil {
+		t.Fatal("foreign format accepted")
+	}
+	if _, err := e.LoadFrom(strings.NewReader("")); err == nil {
+		t.Fatal("empty snapshot accepted")
+	}
+	blob := fmt.Sprintf(`{"format":%q,"version":%d,"entries":1}`+"\nnot json\n",
+		snapshotFormat, snapshotVersion)
+	if _, err := e.LoadFrom(strings.NewReader(blob)); err == nil {
+		t.Fatal("malformed entry line accepted")
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "verdicts.jsonl")
+	src := New(Config{})
+	fill(t, src, 3)
+	if _, err := src.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if !ckpt.Exists(path) {
+		t.Fatal("SaveFile left no file")
+	}
+	dst := New(Config{})
+	n, err := dst.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d, want 3", n)
+	}
+	if _, err := dst.LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file loaded without error")
+	}
+}
