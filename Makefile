@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 lint serve-smoke resume-smoke bench bench-workers
+.PHONY: all tier1 tier2 lint serve-smoke resume-smoke bench bench-workers bench-solver
 
 all: tier1 tier2
 
@@ -48,3 +48,21 @@ bench:
 # in EXPERIMENTS.md).
 bench-workers:
 	$(GO) test -run xxx -bench 'Workers[0-9]' -benchtime 5x .
+
+# Live solver wall on the cold-cache workloads, written to
+# BENCH_solver.json (quoted in EXPERIMENTS.md). The pre-PR baseline
+# walls below were measured from a git worktree at BASELINE_COMMIT
+# (the incremental-session solver cannot be switched back to the old
+# code at runtime): the same 48-pair workload via a copy of
+# solver_bench_test.go, and the cold quickstart train
+# (train -n 40 -stage1 2 -stage2 4 -stage3 3), median of 3.
+# Re-measure with: git worktree add /tmp/base $(BASELINE_COMMIT).
+BASELINE_COMMIT   = 266c0fe
+BASELINE_BENCH_NS = 92094564
+BASELINE_TRAIN_NS = 493000000
+bench-solver:
+	BENCH_SOLVER_OUT=$(CURDIR)/BENCH_solver.json \
+	BENCH_SOLVER_BASELINE_COMMIT=$(BASELINE_COMMIT) \
+	BENCH_SOLVER_BASELINE_BENCH_NS=$(BASELINE_BENCH_NS) \
+	BENCH_SOLVER_BASELINE_TRAIN_NS=$(BASELINE_TRAIN_NS) \
+	$(GO) test -run TestSolverWallBench -count=1 -v .

@@ -1,0 +1,121 @@
+package alive_test
+
+// Session/fresh-solver parity over the generated training corpus. This
+// lives outside package alive because internal/dataset imports it.
+
+import (
+	"testing"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/dataset"
+	"veriopt/internal/interp"
+	"veriopt/internal/ir"
+)
+
+// breakFn clones f and perturbs the first constant operand it finds,
+// manufacturing a semantically different target. Returns nil when f
+// has no constant to perturb.
+func breakFn(f *ir.Function) *ir.Function {
+	g := ir.CloneFunc(f)
+	broken := false
+	g.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		if broken || !in.Op.IsBinary() {
+			return
+		}
+		if c, ok := in.Args[1].(*ir.Const); ok {
+			in.Args[1] = ir.NewConst(c.Ty, c.Signed()+1)
+			broken = true
+		}
+	})
+	if !broken || ir.VerifyFunc(g) != nil {
+		return nil
+	}
+	return g
+}
+
+// concretelyDiffers reports whether running src and tgt on the given
+// inputs exposes a refinement violation (UB introduced, extra poison,
+// value mismatch, or diverging call trace).
+func concretelyDiffers(t *testing.T, src, tgt *ir.Function, inputs map[string]uint64) bool {
+	t.Helper()
+	args := make([]interp.Val, len(src.Params))
+	for i, p := range src.Params {
+		args[i] = interp.V(inputs[p.NameStr])
+	}
+	cfg := interp.DefaultConfig()
+	o1, err := interp.Run(src, args, cfg)
+	if err != nil {
+		t.Fatalf("interp src: %v", err)
+	}
+	o2, err := interp.Run(tgt, args, cfg)
+	if err != nil {
+		t.Fatalf("interp tgt: %v", err)
+	}
+	if o1.UB {
+		return false
+	}
+	if o2.UB {
+		return true
+	}
+	if len(o1.Calls) != len(o2.Calls) {
+		return true
+	}
+	for i := range o1.Calls {
+		if o1.Calls[i].Callee != o2.Calls[i].Callee || len(o1.Calls[i].Args) != len(o2.Calls[i].Args) {
+			return true
+		}
+		for j := range o1.Calls[i].Args {
+			a, b := o1.Calls[i].Args[j], o2.Calls[i].Args[j]
+			if a.Poison || b.Poison || a.Bits != b.Bits {
+				return true
+			}
+		}
+	}
+	if o1.Ret.Poison {
+		return false
+	}
+	return o2.Ret.Poison || o1.Ret.Bits != o2.Ret.Bits
+}
+
+// TestCorpusSessionParity verifies dataset-generated (O0, Ref) pairs —
+// and constant-perturbed broken variants — with both the session and
+// fresh-solver paths, requiring identical verdicts and concretely
+// valid counterexamples throughout the corpus.
+func TestCorpusSessionParity(t *testing.T) {
+	samples, err := dataset.Generate(dataset.Config{Seed: 11, N: 16, SkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsSess := alive.DefaultOptions()
+	optsSess.SolverBudget = 25000
+	optsFresh := optsSess
+	optsFresh.FreshSolver = true
+	checked, semantic := 0, 0
+	for _, s := range samples {
+		targets := []*ir.Function{s.Ref}
+		if broken := breakFn(s.Ref); broken != nil {
+			targets = append(targets, broken)
+		}
+		for _, tgt := range targets {
+			rs := alive.VerifyFuncsCtx(nil, s.O0, tgt, optsSess)
+			rf := alive.VerifyFuncsCtx(nil, s.O0, tgt, optsFresh)
+			if rs.Verdict != rf.Verdict {
+				t.Fatalf("%s: session=%v fresh=%v\nsrc:\n%s\ntgt:\n%s\nsession diag: %s\nfresh diag: %s",
+					s.Name, rs.Verdict, rf.Verdict, ir.FuncString(s.O0), ir.FuncString(tgt), rs.Diag, rf.Diag)
+			}
+			checked++
+			if rs.Verdict == alive.SemanticError {
+				semantic++
+				for name, res := range map[string]alive.Result{"session": rs, "fresh": rf} {
+					if !concretelyDiffers(t, s.O0, tgt, res.Counterexample) {
+						t.Fatalf("%s: %s counterexample %v does not distinguish\nsrc:\n%s\ntgt:\n%s",
+							s.Name, name, res.Counterexample, ir.FuncString(s.O0), ir.FuncString(tgt))
+					}
+				}
+			}
+		}
+	}
+	if checked < 16 || semantic < 4 {
+		t.Errorf("corpus coverage too thin: %d pairs checked, %d semantic errors", checked, semantic)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 
@@ -77,6 +78,11 @@ type Options struct {
 	MaxSteps int
 	// SolverBudget bounds SAT conflicts per query (0 = unlimited).
 	SolverBudget int
+	// FreshSolver disables the incremental solver session and runs
+	// every refinement query on a fresh solver, the way builds before
+	// the session existed did. It exists as a differential-testing and
+	// benchmarking knob; verdicts must not depend on it.
+	FreshSolver bool
 }
 
 // Compile-time guarantee that Options stays usable as a map key.
@@ -313,33 +319,219 @@ func refine(ctx context.Context, b *bv.Builder, src, tgt *summary, paramNames []
 		})
 	}
 
-	conflicts := 0
+	live := queries[:0]
 	for _, q := range queries {
-		if isFalse(q.cond) {
-			continue // statically impossible
+		if !isFalse(q.cond) {
+			live = append(live, q)
 		}
-		// Each CheckSat call is bounded by SolverBudget; polling the
+	}
+	queries = live
+
+	solver := newQuerySolver(src.fn, opts)
+	if sess, ok := solver.(*sessionSolver); ok {
+		if res, done := refineBatched(ctx, b, sess, queries, src, tgt, paramNames); done {
+			return res
+		}
+	}
+	return refinePerQuery(ctx, b, solver, queries, src, tgt, paramNames)
+}
+
+// refinePerQuery discharges the queries one solver call each, in
+// order: the first satisfiable query yields the diagnostic. This is
+// the fresh-solver path, and the fallback when a batched session solve
+// exhausts its budget (so Inconclusive attribution matches).
+func refinePerQuery(ctx context.Context, b *bv.Builder, solver querySolver, queries []refinementQuery, src, tgt *summary, paramNames []string) Result {
+	for _, q := range queries {
+		// Each check call is bounded by SolverBudget; polling the
 		// context between queries keeps the cancellation latency within
 		// one solver call.
 		if err := ctx.Err(); err != nil {
-			return CanceledResult(err)
+			res := CanceledResult(err)
+			res.SolverConflicts = solver.spent()
+			return res
 		}
-		res, err := bv.CheckSat(q.cond, opts.SolverBudget)
+		res, err := solver.check(q.cond)
 		if err != nil {
 			return Result{Verdict: Inconclusive,
 				Diag:            "ERROR: solver budget exhausted (" + q.diag + " check)",
-				SolverConflicts: conflicts}
+				SolverConflicts: solver.spent()}
 		}
 		if res.Status == sat.Sat {
-			return Result{
-				Verdict:         SemanticError,
-				Diag:            renderDiag(b, q.diag, res.Model, src, tgt, paramNames),
-				Counterexample:  extractInputs(res.Model, paramNames),
-				SolverConflicts: conflicts,
-			}
+			return semanticError(b, q, res.Model, src, tgt, paramNames, solver.spent())
 		}
 	}
-	return Result{Verdict: Equivalent, SolverConflicts: conflicts}
+	return Result{Verdict: Equivalent, SolverConflicts: solver.spent()}
+}
+
+// refineBatched is the session fast path: after an in-order concrete
+// pre-pass over every query, the remaining queries are discharged with
+// ONE solver call on their disjunction. Unsat proves all of them at
+// once — the common Equivalent case pays one search instead of one per
+// query — and a Sat model is attributed to the first query it
+// concretely violates. done is false when the batch cannot settle the
+// matter (budget exhausted, or a model no query's Eval confirms):
+// the caller falls back to the per-query path, whose budget and
+// diagnostic attribution match the fresh solver exactly.
+func refineBatched(ctx context.Context, b *bv.Builder, sess *sessionSolver, queries []refinementQuery, src, tgt *summary, paramNames []string) (Result, bool) {
+	if err := ctx.Err(); err != nil {
+		res := CanceledResult(err)
+		res.SolverConflicts = sess.spent()
+		return res, true
+	}
+	// In-order pre-pass: violations the candidate environments expose
+	// are attributed to the earliest query, matching per-query order.
+	for _, q := range queries {
+		if res, ok := sess.sess.TryConcrete(q.cond); ok {
+			return semanticError(b, q, res.Model, src, tgt, paramNames, sess.spent()), true
+		}
+	}
+	if len(queries) == 0 {
+		return Result{Verdict: Equivalent, SolverConflicts: sess.spent()}, true
+	}
+	any := queries[0].cond
+	for _, q := range queries[1:] {
+		any = b.BoolOr(any, q.cond)
+	}
+	res, err := sess.check(any)
+	if err != nil {
+		return Result{}, false // budget: per-query fallback attributes it
+	}
+	if res.Status != sat.Sat {
+		return Result{Verdict: Equivalent, SolverConflicts: sess.spent()}, true
+	}
+	for _, q := range queries {
+		if v, ok := bv.Eval(q.cond, res.Model); ok && v == 1 {
+			return semanticError(b, q, res.Model, src, tgt, paramNames, sess.spent()), true
+		}
+	}
+	// A disjunction model no disjunct's Eval confirms would mean Eval
+	// and the blaster disagree; re-check query by query rather than
+	// guess.
+	return Result{}, false
+}
+
+func semanticError(b *bv.Builder, q refinementQuery, model map[string]uint64, src, tgt *summary, paramNames []string, conflicts int) Result {
+	return Result{
+		Verdict:         SemanticError,
+		Diag:            renderDiag(b, q.diag, model, src, tgt, paramNames),
+		Counterexample:  extractInputs(model, paramNames),
+		SolverConflicts: conflicts,
+	}
+}
+
+// querySolver abstracts how refine discharges its queries: either an
+// incremental session shared across the whole verify (the default) or
+// a fresh solver per query (Options.FreshSolver).
+type querySolver interface {
+	check(t *bv.Term) (bv.Result, error)
+	// spent reports the total SAT conflicts consumed so far.
+	spent() int
+}
+
+type freshSolver struct {
+	budget    int
+	conflicts int
+}
+
+func (f *freshSolver) check(t *bv.Term) (bv.Result, error) {
+	res, err := bv.CheckSat(t, f.budget)
+	f.conflicts += res.Conflicts
+	return res, err
+}
+
+func (f *freshSolver) spent() int { return f.conflicts }
+
+type sessionSolver struct{ sess *bv.Session }
+
+func (s *sessionSolver) check(t *bv.Term) (bv.Result, error) { return s.sess.Check(t) }
+func (s *sessionSolver) spent() int                          { return s.sess.Conflicts() }
+
+func newQuerySolver(fn *ir.Function, opts Options) querySolver {
+	if opts.FreshSolver {
+		return &freshSolver{budget: opts.SolverBudget}
+	}
+	sess := bv.NewSession(opts.SolverBudget)
+	for _, env := range seedEnvs(fn) {
+		sess.SeedEnv(env)
+	}
+	return &sessionSolver{sess: sess}
+}
+
+// seedEnvs builds the deterministic concrete-input environments that
+// prime the session's pre-pass: per-parameter boundary patterns, a few
+// pseudo-random vectors from a fixed seed, and two poison probes.
+// Variables an environment omits (call results, globals, poison bits)
+// evaluate as 0 under bv.Eval, which matches how extractInputs and
+// renderDiag read models.
+func seedEnvs(fn *ir.Function) []map[string]uint64 {
+	widths := make([]int, 0, len(fn.Params))
+	for _, p := range fn.Params {
+		w, err := widthOf(p.Ty)
+		if err != nil {
+			return nil // refine will surface the width error via SAT anyway
+		}
+		widths = append(widths, w)
+	}
+	maskOf := func(w int) uint64 {
+		if w >= 64 {
+			return ^uint64(0)
+		}
+		return 1<<uint(w) - 1
+	}
+	var envs []map[string]uint64
+	addPattern := func(f func(w int) uint64) {
+		env := make(map[string]uint64, len(widths))
+		for i, w := range widths {
+			env[fmt.Sprintf("in%d", i)] = f(w) & maskOf(w)
+		}
+		envs = append(envs, env)
+	}
+	// Boundary patterns, all parameters in lockstep: zero, one,
+	// all-ones (-1), signed min, signed max, alternating bits.
+	addPattern(func(int) uint64 { return 0 })
+	addPattern(func(int) uint64 { return 1 })
+	addPattern(func(w int) uint64 { return maskOf(w) })
+	addPattern(func(w int) uint64 { return 1 << uint(w-1) })
+	addPattern(func(w int) uint64 { return maskOf(w) >> 1 })
+	addPattern(func(int) uint64 { return 0xaaaaaaaaaaaaaaaa })
+	// Small-magnitude values: off-by-one rewrites and shift/divide
+	// miscompilations usually already differ on tiny inputs.
+	addPattern(func(int) uint64 { return 2 })
+	addPattern(func(int) uint64 { return 3 })
+	addPattern(func(w int) uint64 { return maskOf(w) - 1 }) // -2
+	// Pseudo-random vectors. The seed is fixed so verification stays
+	// deterministic (and memoizable in internal/vcache). Concrete
+	// evaluation costs microseconds per environment while a
+	// solver-found counterexample must complete a model over the whole
+	// CNF, so a generous set pays for itself many times over.
+	rng := rand.New(rand.NewSource(0x5eedc0de))
+	for n := 0; n < 32; n++ {
+		env := make(map[string]uint64, len(widths))
+		for i, w := range widths {
+			env[fmt.Sprintf("in%d", i)] = rng.Uint64() & maskOf(w)
+		}
+		envs = append(envs, env)
+	}
+	// Small random values (solver models and wide-range randoms rarely
+	// land in the range where comparison/branch templates flip).
+	for n := 0; n < 8; n++ {
+		env := make(map[string]uint64, len(widths))
+		for i, w := range widths {
+			env[fmt.Sprintf("in%d", i)] = (rng.Uint64() & 0xf) & maskOf(w)
+		}
+		envs = append(envs, env)
+	}
+	// Poison probes: random values with the per-parameter poison bits
+	// raised, for queries reachable only through a poisoned input.
+	for n := 0; n < 2; n++ {
+		env := make(map[string]uint64, 2*len(widths))
+		for i, w := range widths {
+			env[fmt.Sprintf("in%d", i)] = rng.Uint64() & maskOf(w)
+			env[fmt.Sprintf("in%d$poison", i)] = 1
+		}
+		envs = append(envs, env)
+	}
+	return envs
 }
 
 func occ(s *summary, k int) []callEvent {

@@ -8,18 +8,41 @@ import (
 
 // Blaster translates bit-vector terms into CNF over a sat.Solver via
 // Tseitin encoding, one solver variable per bit.
+//
+// The blast cache is keyed by Term.ID(), which is unique per Builder,
+// and it survives across queries: a Blaster reused for a stream of
+// queries over one Builder (the Session path) blasts every shared
+// subterm exactly once. Consequently a Blaster must only ever see
+// terms from a single Builder.
 type Blaster struct {
 	S     *sat.Solver
-	cache map[*Term][]sat.Lit
+	cache map[int][]sat.Lit // Term.ID() -> bit literals
 	// tLit/fLit are literals fixed to true/false.
 	tLit, fLit sat.Lit
 	vars       map[string][]sat.Lit // variable name -> bit literals
+	// gates hash-conses gate outputs: structurally identical gates
+	// (same op, same input literals) share one Tseitin variable, which
+	// shrinks the CNF the solver has to search over.
+	gates map[gateKey]sat.Lit
 }
+
+// gateKey identifies a gate up to commutativity (callers normalize the
+// operand order for commutative ops).
+type gateKey struct {
+	op      uint8
+	a, b, c sat.Lit
+}
+
+const (
+	gateAnd uint8 = iota
+	gateXor
+	gateMux
+)
 
 // NewBlaster wires a blaster to a fresh solver.
 func NewBlaster() *Blaster {
 	s := sat.New()
-	b := &Blaster{S: s, cache: map[*Term][]sat.Lit{}, vars: map[string][]sat.Lit{}}
+	b := &Blaster{S: s, cache: map[int][]sat.Lit{}, vars: map[string][]sat.Lit{}, gates: map[gateKey]sat.Lit{}}
 	v := s.NewVar()
 	b.tLit = sat.MkLit(v, false)
 	b.fLit = b.tLit.Not()
@@ -56,10 +79,18 @@ func (bl *Blaster) andGate(a, b sat.Lit) sat.Lit {
 	if a == b.Not() {
 		return bl.fLit
 	}
+	if a > b {
+		a, b = b, a
+	}
+	key := gateKey{op: gateAnd, a: a, b: b}
+	if o, ok := bl.gates[key]; ok {
+		return o
+	}
 	o := bl.freshLit()
 	bl.S.AddClause(o.Not(), a)
 	bl.S.AddClause(o.Not(), b)
 	bl.S.AddClause(o, a.Not(), b.Not())
+	bl.gates[key] = o
 	return o
 }
 
@@ -88,12 +119,31 @@ func (bl *Blaster) xorGate(a, b sat.Lit) sat.Lit {
 	if a == b.Not() {
 		return bl.tLit
 	}
+	// xor is invariant under pushing negations to the output:
+	// ¬a⊕b = ¬(a⊕b). Canonicalize to positive inputs and fold the
+	// parity into the cached output so all four polarity variants of
+	// one gate share a single Tseitin variable.
+	var parity sat.Lit
+	if a.Neg() {
+		a, parity = a.Not(), parity^1
+	}
+	if b.Neg() {
+		b, parity = b.Not(), parity^1
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := gateKey{op: gateXor, a: a, b: b}
+	if o, ok := bl.gates[key]; ok {
+		return o ^ parity
+	}
 	o := bl.freshLit()
 	bl.S.AddClause(o.Not(), a, b)
 	bl.S.AddClause(o.Not(), a.Not(), b.Not())
 	bl.S.AddClause(o, a, b.Not())
 	bl.S.AddClause(o, a.Not(), b)
-	return o
+	bl.gates[key] = o
+	return o ^ parity
 }
 
 // muxGate returns c ? t : f.
@@ -107,18 +157,41 @@ func (bl *Blaster) muxGate(c, t, f sat.Lit) sat.Lit {
 	if t == f {
 		return t
 	}
+	// Constant arms reduce to two-input gates, which are cheaper to
+	// encode and shared through the gate cache.
+	if t == bl.tLit {
+		return bl.orGate(c, f)
+	}
+	if t == bl.fLit {
+		return bl.andGate(c.Not(), f)
+	}
+	if f == bl.tLit {
+		return bl.orGate(c.Not(), t)
+	}
+	if f == bl.fLit {
+		return bl.andGate(c, t)
+	}
+	if t == f.Not() {
+		return bl.xorGate(c, f)
+	}
+	key := gateKey{op: gateMux, a: c, b: t, c: f}
+	if o, ok := bl.gates[key]; ok {
+		return o
+	}
 	o := bl.freshLit()
 	bl.S.AddClause(o.Not(), c.Not(), t)
 	bl.S.AddClause(o.Not(), c, f)
 	bl.S.AddClause(o, c.Not(), t.Not())
 	bl.S.AddClause(o, c, f.Not())
+	bl.gates[key] = o
 	return o
 }
 
 // fullAdder returns (sum, carry) of a+b+cin.
 func (bl *Blaster) fullAdder(a, b, cin sat.Lit) (sum, cout sat.Lit) {
-	sum = bl.xorGate(bl.xorGate(a, b), cin)
-	cout = bl.orGate(bl.andGate(a, b), bl.andGate(cin, bl.xorGate(a, b)))
+	ab := bl.xorGate(a, b)
+	sum = bl.xorGate(ab, cin)
+	cout = bl.orGate(bl.andGate(a, b), bl.andGate(cin, ab))
 	return sum, cout
 }
 
@@ -144,14 +217,14 @@ func (bl *Blaster) negate(a []sat.Lit) []sat.Lit {
 
 // Blast returns the bit literals (LSB first) representing t.
 func (bl *Blaster) Blast(t *Term) []sat.Lit {
-	if lits, ok := bl.cache[t]; ok {
+	if lits, ok := bl.cache[t.ID()]; ok {
 		return lits
 	}
 	lits := bl.blast(t)
 	if len(lits) != t.Width {
 		panic(fmt.Sprintf("bv: blast width mismatch for %v: got %d, want %d", t.Op, len(lits), t.Width))
 	}
-	bl.cache[t] = lits
+	bl.cache[t.ID()] = lits
 	return lits
 }
 
@@ -505,20 +578,25 @@ func (bl *Blaster) Model() map[string]uint64 {
 type Result struct {
 	Status sat.Status
 	Model  map[string]uint64
+	// Conflicts is the number of SAT conflicts the solver spent on
+	// this check (0 when the concrete pre-pass answered it).
+	Conflicts int
 }
 
 // CheckSat determines satisfiability of the width-1 term, with an
 // optional conflict budget (0 = unlimited). On Sat, Model gives a
-// witness assignment for all variables mentioned.
+// witness assignment for all variables mentioned. Each call builds a
+// fresh Blaster and solver; use Session for a query stream that
+// should share bit-blasting and learnt clauses.
 func CheckSat(t *Term, budget int) (Result, error) {
 	bl := NewBlaster()
 	bl.S.Budget = budget
 	bl.AssertTrue(t)
 	st, err := bl.S.Solve()
 	if err != nil {
-		return Result{Status: sat.Unknown}, err
+		return Result{Status: sat.Unknown, Conflicts: bl.S.Conflicts()}, err
 	}
-	res := Result{Status: st}
+	res := Result{Status: st, Conflicts: bl.S.Conflicts()}
 	if st == sat.Sat {
 		res.Model = bl.Model()
 	}

@@ -75,8 +75,13 @@ func TestHashConsing(t *testing.T) {
 		t.Error("identical terms not shared")
 	}
 	t3 := b.Bin(OpAdd, y, x)
-	if t1 == t3 {
-		t.Error("add x y and add y x should be distinct nodes (no commutativity canonicalization)")
+	if t1 != t3 {
+		t.Error("add x y and add y x should canonicalize to one node (commutativity)")
+	}
+	t4 := b.Bin(OpSub, x, y)
+	t5 := b.Bin(OpSub, y, x)
+	if t4 == t5 {
+		t.Error("sub is not commutative; operands must not be reordered")
 	}
 }
 

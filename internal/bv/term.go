@@ -159,9 +159,67 @@ func (b *Builder) Bin(op Op, x, y *Term) *Term {
 		panic(fmt.Sprintf("bv: width mismatch %d vs %d for %v", x.Width, y.Width, op))
 	}
 	w := x.Width
+	// Canonicalize commutative operators by term identity so that
+	// commuted applications hash-cons to one node. Downstream this is a
+	// real solver win: source/target pairs that differ only by operand
+	// order blast to identical literals and their equivalence condition
+	// folds to a constant before any search.
+	switch op {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor:
+		if x.id > y.id {
+			x, y = y, x
+		}
+	}
 	if x.Op == OpConst && y.Op == OpConst {
 		if v, ok := foldBin(op, x.Val, y.Val, w); ok {
 			return b.Const(w, v)
+		}
+	}
+	// Normalize subtraction of a constant into addition (exact under
+	// wrapping semantics), so mixed add/sub constant chains share one
+	// operator and reassociate below.
+	if op == OpSub {
+		if yc, ok := constOf(y); ok {
+			return b.Bin(OpAdd, x, b.Const(w, -yc))
+		}
+	}
+	// Reassociate constant chains: (z ⋄ c1) ⋄ c2 → z ⋄ (c1 ⋄ c2) for
+	// associative ops. Long accumulator chains ("a += 24; a -= 8; ...")
+	// collapse to a single operation, which turns their equivalence
+	// proofs from carry-chain SAT searches into constant folds.
+	switch op {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor:
+		if c2, ok := constOf(y); ok && x.Op == op {
+			if c1, ok := constOf(x.Kids[1]); ok {
+				v, _ := foldBin(op, c1, c2, w)
+				return b.Bin(op, x.Kids[0], b.Const(w, v))
+			}
+			if c1, ok := constOf(x.Kids[0]); ok {
+				v, _ := foldBin(op, c1, c2, w)
+				return b.Bin(op, x.Kids[1], b.Const(w, v))
+			}
+		}
+		if c2, ok := constOf(x); ok && y.Op == op {
+			if c1, ok := constOf(y.Kids[1]); ok {
+				v, _ := foldBin(op, c1, c2, w)
+				return b.Bin(op, y.Kids[0], b.Const(w, v))
+			}
+			if c1, ok := constOf(y.Kids[0]); ok {
+				v, _ := foldBin(op, c1, c2, w)
+				return b.Bin(op, y.Kids[1], b.Const(w, v))
+			}
+		}
+	case OpShl:
+		// (z << c1) << c2 → z << (c1+c2); foldBin already maps
+		// amounts ≥ w to zero on both spellings.
+		if c2, ok := constOf(y); ok && x.Op == OpShl {
+			if c1, ok := constOf(x.Kids[1]); ok {
+				sum := c1 + c2
+				if sum < c1 || sum > uint64(w) { // overflow or ≥ w
+					sum = uint64(w)
+				}
+				return b.Bin(OpShl, x.Kids[0], b.Const(w, sum))
+			}
 		}
 	}
 	if t := b.simplifyBin(op, x, y); t != nil {
@@ -334,6 +392,10 @@ func (b *Builder) Cmp(op Op, x, y *Term) *Term {
 	if x.Width != y.Width {
 		panic(fmt.Sprintf("bv: cmp width mismatch %d vs %d", x.Width, y.Width))
 	}
+	// Equality is commutative: canonicalize like Bin does.
+	if op == OpEq && x.id > y.id {
+		x, y = y, x
+	}
 	if xc, ok1 := constOf(x); ok1 {
 		if yc, ok2 := constOf(y); ok2 {
 			w := x.Width
@@ -438,8 +500,29 @@ func (b *Builder) BoolNot(x *Term) *Term { return b.Not(x) }
 func (b *Builder) Implies(x, y *Term) *Term { return b.BoolOr(b.Not(x), y) }
 
 // Eval evaluates a term under an assignment of variable values
-// (by name). Division by zero returns (0, false).
+// (by name). Division by zero returns (0, false). Evaluation is
+// memoized over the hash-consed DAG (keyed by Term.ID()), so heavily
+// shared subexpressions are computed once — this is what makes the
+// concrete-execution pre-pass in Session affordable.
 func Eval(t *Term, env map[string]uint64) (uint64, bool) {
+	return evalTerm(t, env, make(map[int]evalResult))
+}
+
+type evalResult struct {
+	v  uint64
+	ok bool
+}
+
+func evalTerm(t *Term, env map[string]uint64, memo map[int]evalResult) (uint64, bool) {
+	if r, done := memo[t.id]; done {
+		return r.v, r.ok
+	}
+	v, ok := evalNode(t, env, memo)
+	memo[t.id] = evalResult{v: v, ok: ok}
+	return v, ok
+}
+
+func evalNode(t *Term, env map[string]uint64, memo map[int]evalResult) (uint64, bool) {
 	switch t.Op {
 	case OpConst:
 		return t.Val, true
@@ -450,32 +533,32 @@ func Eval(t *Term, env map[string]uint64) (uint64, bool) {
 		}
 		return v & mask(t.Width), true
 	case OpNot:
-		v, ok := Eval(t.Kids[0], env)
+		v, ok := evalTerm(t.Kids[0], env, memo)
 		return ^v & mask(t.Width), ok
 	case OpNeg:
-		v, ok := Eval(t.Kids[0], env)
+		v, ok := evalTerm(t.Kids[0], env, memo)
 		return -v & mask(t.Width), ok
 	case OpIte:
-		c, ok := Eval(t.Kids[0], env)
+		c, ok := evalTerm(t.Kids[0], env, memo)
 		if !ok {
 			return 0, false
 		}
 		if c&1 == 1 {
-			return Eval(t.Kids[1], env)
+			return evalTerm(t.Kids[1], env, memo)
 		}
-		return Eval(t.Kids[2], env)
+		return evalTerm(t.Kids[2], env, memo)
 	case OpZExt:
-		v, ok := Eval(t.Kids[0], env)
+		v, ok := evalTerm(t.Kids[0], env, memo)
 		return v & mask(t.Kids[0].Width), ok
 	case OpSExt:
-		v, ok := Eval(t.Kids[0], env)
+		v, ok := evalTerm(t.Kids[0], env, memo)
 		return uint64(signExtend(v, t.Kids[0].Width)) & mask(t.Width), ok
 	case OpTrunc:
-		v, ok := Eval(t.Kids[0], env)
+		v, ok := evalTerm(t.Kids[0], env, memo)
 		return v & mask(t.Width), ok
 	case OpEq, OpUlt, OpUle, OpSlt, OpSle:
-		x, ok1 := Eval(t.Kids[0], env)
-		y, ok2 := Eval(t.Kids[1], env)
+		x, ok1 := evalTerm(t.Kids[0], env, memo)
+		y, ok2 := evalTerm(t.Kids[1], env, memo)
 		if !ok1 || !ok2 {
 			return 0, false
 		}
@@ -499,8 +582,8 @@ func Eval(t *Term, env map[string]uint64) (uint64, bool) {
 		return 0, true
 	}
 	// Binary ops.
-	x, ok1 := Eval(t.Kids[0], env)
-	y, ok2 := Eval(t.Kids[1], env)
+	x, ok1 := evalTerm(t.Kids[0], env, memo)
+	y, ok2 := evalTerm(t.Kids[1], env, memo)
 	if !ok1 || !ok2 {
 		return 0, false
 	}

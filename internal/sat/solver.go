@@ -1,8 +1,17 @@
 // Package sat implements a CDCL (conflict-driven clause learning)
 // boolean satisfiability solver with two-watched-literal propagation,
 // VSIDS-style activity-based decisions, first-UIP clause learning,
-// and Luby restarts. It is the decision procedure underlying the
-// bit-blasted bit-vector checks in internal/bv and internal/alive.
+// phase saving, and Luby restarts. It is the decision procedure
+// underlying the bit-blasted bit-vector checks in internal/bv and
+// internal/alive.
+//
+// The solver is incremental: clauses may be added between Solve
+// calls, and Solve accepts assumption literals that hold only for
+// that call. Learnt clauses, variable activities, and saved phases
+// persist across calls, so a stream of near-identical queries (the
+// refinement queries of one verification, each guarded by its own
+// activation literal) reuses earlier search effort instead of
+// starting from scratch.
 package sat
 
 import (
@@ -34,21 +43,16 @@ func (l Lit) Not() Lit { return l ^ 1 }
 
 type lbool int8
 
+// The encoding is chosen so that negating a defined value is "xor 1"
+// — the same bit Lit uses for its sign — making valueLit branch-free.
+// An undefined value xored with a sign bit yields 2 or 3; comparisons
+// therefore test == lTrue / == lFalse (never == lUndef on a literal
+// value) and let both undefined encodings fall through.
 const (
-	lUndef lbool = iota
-	lTrue
-	lFalse
+	lTrue  lbool = 0
+	lFalse lbool = 1
+	lUndef lbool = 2
 )
-
-func (b lbool) not() lbool {
-	switch b {
-	case lTrue:
-		return lFalse
-	case lFalse:
-		return lTrue
-	}
-	return lUndef
-}
 
 // Status is a solver result.
 type Status int
@@ -69,12 +73,22 @@ type clause struct {
 	act    float64
 }
 
+// watcher is one watch-list entry: the clause plus a blocker literal
+// (some other literal of the clause). If the blocker is already true
+// the clause is satisfied and propagation skips it without touching
+// the clause memory at all — most watch-list traffic in a long session
+// exits through this check.
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
 // Solver is a CDCL SAT solver instance. Zero value is not usable; use
 // New.
 type Solver struct {
 	clauses  []*clause
 	learnts  []*clause
-	watches  [][]*clause // literal -> watching clauses
+	watches  [][]watcher // literal -> watching clauses
 	assign   []lbool     // variable -> value
 	level    []int       // variable -> decision level
 	reason   []*clause   // variable -> implying clause
@@ -86,6 +100,8 @@ type Solver struct {
 	qhead    int
 	order    *varHeap
 	seen     []bool
+	phase    []bool // saved polarity per variable (last assigned value)
+	minBuf   []Lit  // scratch for learnt-clause minimization
 
 	// Budget bounds the total number of conflicts across Solve calls;
 	// 0 means unlimited.
@@ -113,6 +129,7 @@ func (s *Solver) NewVar() int {
 	s.reason = append(s.reason, nil)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, false)
+	s.phase = append(s.phase, false)
 	s.order.push(v)
 	return v
 }
@@ -127,21 +144,34 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 func (s *Solver) Conflicts() int { return s.conflicts }
 
 func (s *Solver) valueLit(l Lit) lbool {
-	v := s.assign[l.Var()]
-	if l.Neg() {
-		return v.not()
-	}
-	return v
+	return s.assign[l>>1] ^ lbool(l&1)
 }
 
 // AddClause adds a clause (a disjunction of literals). Returns false
-// if the formula is already unsatisfiable.
+// if the formula is already unsatisfiable. Clauses may be added
+// between Solve calls: any leftover search state (including the model
+// of a prior Sat call) is undone first so the clause is simplified
+// against level-0 truths only and its watches are installed on a
+// clean trail. Callers must therefore read the model before adding
+// more clauses.
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.okay {
 		return false
 	}
-	// Simplify: dedupe, drop false literals, detect tautology.
-	sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+	s.backtrackTo(0)
+	// Simplify: dedupe, drop false literals, detect tautology. Clauses
+	// are short (Tseitin gates are 2-3 literals) and AddClause runs on
+	// every session query, so an insertion sort beats sort.Slice's
+	// reflection overhead.
+	for i := 1; i < len(lits); i++ {
+		l := lits[i]
+		j := i - 1
+		for j >= 0 && lits[j] > l {
+			lits[j+1] = lits[j]
+			j--
+		}
+		lits[j+1] = l
+	}
 	out := lits[:0]
 	var prev Lit = -1
 	for _, l := range lits {
@@ -185,8 +215,8 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 }
 
 func (s *Solver) watch(c *clause) {
-	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], c)
-	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
 }
 
 func (s *Solver) enqueue(l Lit, from *clause) bool {
@@ -197,11 +227,7 @@ func (s *Solver) enqueue(l Lit, from *clause) bool {
 		return false
 	}
 	v := l.Var()
-	if l.Neg() {
-		s.assign[v] = lFalse
-	} else {
-		s.assign[v] = lTrue
-	}
+	s.assign[v] = lbool(l & 1) // sign bit is the lFalse bit
 	s.level[v] = s.decisionLevel()
 	s.reason[v] = from
 	s.trail = append(s.trail, l)
@@ -214,25 +240,62 @@ func (s *Solver) propagate() *clause {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
+		// Compact the watch list in place: kept watches slide left over
+		// moved ones, so propagation allocates nothing. (A session's
+		// watch lists grow across queries; the old clear-and-re-append
+		// scheme reallocated the whole list on every assignment.)
 		ws := s.watches[p]
-		s.watches[p] = nil
+		j := 0
 		for wi := 0; wi < len(ws); wi++ {
-			c := ws[wi]
+			// Blocker check first: if some other literal of the clause is
+			// already true the clause is satisfied and nothing else needs
+			// to be read.
+			if s.valueLit(ws[wi].blocker) == lTrue {
+				ws[j] = ws[wi]
+				j++
+				continue
+			}
+			c := ws[wi].c
+			// Binary clause: the blocker is the only other literal, and
+			// it is not true, so the clause is unit or conflicting
+			// without searching for a replacement watch. analyze expects
+			// a reason clause's implied literal at lits[0].
+			if len(c.lits) == 2 {
+				if c.lits[0] != ws[wi].blocker {
+					c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+				}
+				ws[j] = ws[wi]
+				j++
+				if !s.enqueue(ws[wi].blocker, c) {
+					for wi++; wi < len(ws); wi++ {
+						ws[j] = ws[wi]
+						j++
+					}
+					s.watches[p] = ws[:j]
+					s.qhead = len(s.trail)
+					return c
+				}
+				continue
+			}
 			// Ensure the false literal is lits[1].
 			if c.lits[0] == p.Not() {
 				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
 			}
-			// If the first watch is true, the clause is satisfied.
+			// If the first watch is true, the clause is satisfied; make
+			// it the blocker for next time.
 			if s.valueLit(c.lits[0]) == lTrue {
-				s.watches[p] = append(s.watches[p], c)
+				ws[j] = watcher{c, c.lits[0]}
+				j++
 				continue
 			}
-			// Find a new literal to watch.
+			// Find a new literal to watch. The new watch c.lits[1] is
+			// non-false while p is true, so its list is never ws itself
+			// and the append cannot alias the slice being compacted.
 			found := false
 			for k := 2; k < len(c.lits); k++ {
 				if s.valueLit(c.lits[k]) != lFalse {
 					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
 					found = true
 					break
 				}
@@ -241,14 +304,20 @@ func (s *Solver) propagate() *clause {
 				continue
 			}
 			// Clause is unit or conflicting.
-			s.watches[p] = append(s.watches[p], c)
+			ws[j] = watcher{c, c.lits[0]}
+			j++
 			if !s.enqueue(c.lits[0], c) {
-				// Conflict: restore remaining watches and return.
-				s.watches[p] = append(s.watches[p], ws[wi+1:]...)
+				// Conflict: keep the unvisited remainder and return.
+				for wi++; wi < len(ws); wi++ {
+					ws[j] = ws[wi]
+					j++
+				}
+				s.watches[p] = ws[:j]
 				s.qhead = len(s.trail)
 				return c
 			}
 		}
+		s.watches[p] = ws[:j]
 	}
 	return nil
 }
@@ -261,6 +330,12 @@ func (s *Solver) analyze(conf *clause) (learnt []Lit, backLevel int) {
 
 	c := conf
 	for {
+		// Clauses involved in conflict analysis are the useful ones:
+		// bump them so reduceDB keeps the most-used half rather than
+		// the most recently created.
+		if c.learnt {
+			s.bumpClause(c)
+		}
 		start := 0
 		if p != -1 {
 			start = 1
@@ -294,6 +369,36 @@ func (s *Solver) analyze(conf *clause) (learnt []Lit, backLevel int) {
 	}
 	learnt[0] = p.Not()
 
+	// Minimize the learnt clause by local self-subsumption: a literal
+	// whose reason's antecedents are all already in the clause (seen)
+	// or fixed at level 0 is implied by the rest and can be dropped.
+	// seen stays set for dropped literals during the scan — removals
+	// chain soundly because implication order bottoms out at kept
+	// literals (induction on trail position).
+	s.minBuf = append(s.minBuf[:0], learnt...)
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].Var()
+		c := s.reason[v]
+		if c == nil {
+			learnt[j] = learnt[i]
+			j++
+			continue
+		}
+		redundant := true
+		for _, q := range c.lits[1:] {
+			if !s.seen[q.Var()] && s.level[q.Var()] > 0 {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+
 	// Compute backtrack level (second-highest level in the clause).
 	backLevel = 0
 	if len(learnt) > 1 {
@@ -306,7 +411,9 @@ func (s *Solver) analyze(conf *clause) (learnt []Lit, backLevel int) {
 		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
 		backLevel = s.level[learnt[1].Var()]
 	}
-	for _, l := range learnt {
+	// Clear seen over the pre-minimization clause: dropped literals'
+	// vars are still marked.
+	for _, l := range s.minBuf {
 		s.seen[l.Var()] = false
 	}
 	return learnt, backLevel
@@ -319,6 +426,7 @@ func (s *Solver) backtrackTo(level int) {
 	bound := s.trailLim[level]
 	for i := len(s.trail) - 1; i >= bound; i-- {
 		v := s.trail[i].Var()
+		s.phase[v] = s.assign[v] == lTrue
 		s.assign[v] = lUndef
 		s.reason[v] = nil
 		s.level[v] = -1
@@ -327,6 +435,19 @@ func (s *Solver) backtrackTo(level int) {
 	s.trail = s.trail[:bound]
 	s.trailLim = s.trailLim[:level]
 	s.qhead = len(s.trail)
+}
+
+// bumpClause raises a learnt clause's activity, rescaling all learnt
+// activities (and claInc itself) when they grow large so a long-lived
+// incremental session never overflows to +Inf.
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, l := range s.learnts {
+			l.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
 }
 
 func (s *Solver) bumpVar(v int) {
@@ -380,14 +501,52 @@ func (s *Solver) isReason(c *clause) bool {
 func (s *Solver) unwatch(c *clause) {
 	for _, l := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
 		ws := s.watches[l]
-		for i, w := range ws {
-			if w == c {
+		for i := range ws {
+			if ws[i].c == c {
 				ws[i] = ws[len(ws)-1]
 				s.watches[l] = ws[:len(ws)-1]
 				break
 			}
 		}
 	}
+}
+
+// Simplify removes clauses that are satisfied at level 0 from the
+// database and the watch lists. In an incremental session every
+// retired query leaves behind a permanently satisfied guard clause
+// (and learnt clauses subsumed by the retirement unit); dropping them
+// keeps propagation proportional to the live formula instead of the
+// whole session history.
+func (s *Solver) Simplify() {
+	if !s.okay {
+		return
+	}
+	s.backtrackTo(0)
+	if conf := s.propagate(); conf != nil {
+		s.okay = false
+		return
+	}
+	s.clauses = s.removeSatisfied(s.clauses)
+	s.learnts = s.removeSatisfied(s.learnts)
+}
+
+func (s *Solver) removeSatisfied(cs []*clause) []*clause {
+	out := cs[:0]
+	for _, c := range cs {
+		satisfied := false
+		for _, l := range c.lits {
+			if s.valueLit(l) == lTrue && s.level[l.Var()] == 0 {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied && !s.isReason(c) {
+			s.unwatch(c)
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
 }
 
 // luby computes the Luby restart sequence value for index i (1-based):
@@ -403,13 +562,25 @@ func luby(i int) int {
 	return luby(i - ((1 << uint(k-1)) - 1))
 }
 
-// Solve runs the CDCL loop. It returns Sat with a complete model
+// Solve runs the CDCL loop, optionally under assumption literals that
+// hold for this call only. It returns Sat with a complete model
 // retrievable via Value, Unsat, or an error if the conflict budget is
-// exhausted.
-func (s *Solver) Solve() (Status, error) {
+// exhausted (the budget spans Solve calls: conflicts accumulate and
+// are checked against Budget on every call).
+//
+// Solve is incremental: it first backtracks to level 0, so it may be
+// called repeatedly with different assumptions and with clauses added
+// between calls; learnt clauses, activities, and saved phases carry
+// over. An Unsat answer under assumptions does not make the solver
+// permanently unsat — only a level-0 conflict does. After Sat the
+// model must be read before the next AddClause or Solve, either of
+// which resets the trail.
+func (s *Solver) Solve(assumptions ...Lit) (Status, error) {
 	if !s.okay {
 		return Unsat, nil
 	}
+	// Re-entry from a prior call: drop its decisions and assumptions.
+	s.backtrackTo(0)
 	if conf := s.propagate(); conf != nil {
 		s.okay = false
 		return Unsat, nil
@@ -436,9 +607,10 @@ func (s *Solver) Solve() (Status, error) {
 			if len(learnt) == 1 {
 				s.enqueue(learnt[0], nil)
 			} else {
-				c := &clause{lits: learnt, learnt: true, act: s.claInc}
+				c := &clause{lits: learnt, learnt: true}
 				s.learnts = append(s.learnts, c)
 				s.watch(c)
+				s.bumpClause(c)
 				s.enqueue(learnt[0], c)
 			}
 			s.decayActivities()
@@ -455,25 +627,52 @@ func (s *Solver) Solve() (Status, error) {
 			s.reduceDB()
 			maxLearnts += 200
 		}
+		// Assert pending assumptions, one decision level each, before
+		// any free decision. Restarts and conflict backjumps can undo
+		// them; they are re-asserted here on the way back down.
+		if lvl := s.decisionLevel(); lvl < len(assumptions) {
+			p := assumptions[lvl]
+			switch s.valueLit(p) {
+			case lTrue:
+				// Already implied: open a dummy level so decision level
+				// k still corresponds to assumption k.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				// The clause database (with earlier assumptions) forces
+				// this assumption false: unsat under assumptions, but
+				// the solver itself stays usable.
+				s.backtrackTo(0)
+				return Unsat, nil
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(p, nil)
+			continue
+		}
 		v := s.pickBranchVar()
 		if v == -1 {
 			return Sat, nil // complete assignment
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
-		// Phase saving would go here; default to false first, which
-		// biases toward sparse counterexamples.
-		s.enqueue(MkLit(v, true), nil)
+		// Phase saving: repeat the variable's last polarity so restarts
+		// and successive assumption solves re-explore saved
+		// assignments. Fresh variables start at false, which biases
+		// toward sparse counterexamples.
+		s.enqueue(MkLit(v, !s.phase[v]), nil)
 	}
 }
 
 // Value returns the model value of variable v after Sat.
 func (s *Solver) Value(v int) bool { return s.assign[v] == lTrue }
 
-// varHeap is a max-heap over variable activity.
+// varHeap is a max-heap over variable activity. The index side table
+// is a dense slice (variables are small ints and every variable passes
+// through the heap): backtracking pushes the whole trail back, so map
+// overhead here dominated long incremental sessions.
 type varHeap struct {
 	s     *Solver
 	heap  []int
-	index map[int]int
+	index []int // variable -> heap position, -1 when absent
 }
 
 func (h *varHeap) less(a, b int) bool {
@@ -516,10 +715,10 @@ func (h *varHeap) down(i int) {
 }
 
 func (h *varHeap) push(v int) {
-	if h.index == nil {
-		h.index = map[int]int{}
+	for len(h.index) <= v {
+		h.index = append(h.index, -1)
 	}
-	if _, in := h.index[v]; in {
+	if h.index[v] >= 0 {
 		return
 	}
 	h.heap = append(h.heap, v)
@@ -535,7 +734,7 @@ func (h *varHeap) pop() (int, bool) {
 	last := len(h.heap) - 1
 	h.swap(0, last)
 	h.heap = h.heap[:last]
-	delete(h.index, v)
+	h.index[v] = -1
 	if last > 0 {
 		h.down(0)
 	}
@@ -543,7 +742,7 @@ func (h *varHeap) pop() (int, bool) {
 }
 
 func (h *varHeap) update(v int) {
-	if i, in := h.index[v]; in {
-		h.up(i)
+	if v < len(h.index) && h.index[v] >= 0 {
+		h.up(h.index[v])
 	}
 }

@@ -194,6 +194,241 @@ func TestBudgetExhaustion(t *testing.T) {
 	}
 }
 
+func TestSolveUnderAssumptions(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false)) // a ∨ b
+	st, err := s.Solve(MkLit(a, true), MkLit(b, true))
+	if err != nil || st != Unsat {
+		t.Fatalf("solve(¬a,¬b) = %v, %v, want Unsat", st, err)
+	}
+	// Unsat under assumptions must not poison the solver.
+	st, err = s.Solve(MkLit(a, true))
+	if err != nil || st != Sat {
+		t.Fatalf("solve(¬a) = %v, %v, want Sat", st, err)
+	}
+	if s.Value(a) || !s.Value(b) {
+		t.Errorf("model a=%v b=%v, want a=false b=true", s.Value(a), s.Value(b))
+	}
+	st, err = s.Solve()
+	if err != nil || st != Sat {
+		t.Fatalf("solve() = %v, %v, want Sat", st, err)
+	}
+}
+
+// TestActivationLiteralProtocol exercises the incremental pattern the
+// bv.Session uses: per-query activation literals solved under
+// assumption, then retired with a unit clause.
+func TestActivationLiteralProtocol(t *testing.T) {
+	s := New()
+	x := s.NewVar()
+	// Query 1: act1 → x, solved under act1.
+	act1 := s.NewVar()
+	s.AddClause(MkLit(act1, true), MkLit(x, false))
+	st, err := s.Solve(MkLit(act1, false))
+	if err != nil || st != Sat {
+		t.Fatalf("query1 = %v, %v, want Sat", st, err)
+	}
+	if !s.Value(x) {
+		t.Fatal("query1 model must satisfy x")
+	}
+	s.AddClause(MkLit(act1, true)) // retire act1
+	// Query 2: act2 → ¬x, independent of the retired query 1.
+	act2 := s.NewVar()
+	s.AddClause(MkLit(act2, true), MkLit(x, true))
+	st, err = s.Solve(MkLit(act2, false))
+	if err != nil || st != Sat {
+		t.Fatalf("query2 = %v, %v, want Sat", st, err)
+	}
+	if s.Value(x) {
+		t.Fatal("query2 model must satisfy ¬x")
+	}
+	// Query 3: act3 → (x ∧ ¬x): unsat under assumption only.
+	act3 := s.NewVar()
+	s.AddClause(MkLit(act3, true), MkLit(x, false))
+	s.AddClause(MkLit(act3, true), MkLit(x, true))
+	st, err = s.Solve(MkLit(act3, false))
+	if err != nil || st != Unsat {
+		t.Fatalf("query3 = %v, %v, want Unsat", st, err)
+	}
+	s.AddClause(MkLit(act3, true))
+	// The solver is still globally satisfiable afterwards.
+	st, err = s.Solve()
+	if err != nil || st != Sat {
+		t.Fatalf("final solve = %v, %v, want Sat", st, err)
+	}
+}
+
+// TestAddClauseAfterSolve is the incremental-hardening regression: a
+// clause added after a prior Sat call used to be compared against the
+// live model and silently dropped when some literal happened to be
+// true at a non-zero decision level.
+func TestAddClauseAfterSolve(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	x := s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false)) // a ∨ b
+	st, err := s.Solve()
+	if err != nil || st != Sat {
+		t.Fatalf("first solve = %v, %v, want Sat", st, err)
+	}
+	// b is true in the model at level > 0; (b ∨ x) must still be
+	// recorded as a real clause, not dropped as "satisfied".
+	s.AddClause(MkLit(b, false), MkLit(x, false))
+	s.AddClause(MkLit(b, true))
+	s.AddClause(MkLit(x, true))
+	st, err = s.Solve()
+	if err != nil || st != Unsat {
+		t.Fatalf("after adds = %v, %v, want Unsat ((b∨x) ∧ ¬b ∧ ¬x)", st, err)
+	}
+}
+
+// TestBudgetSpansSolveCalls pins the incremental budget contract:
+// conflicts accumulate across calls and are charged against Budget on
+// every call, so a session can top the budget up per query.
+func TestBudgetSpansSolveCalls(t *testing.T) {
+	s := New()
+	pigeonhole(s, 7, 6)
+	s.Budget = 5
+	if _, err := s.Solve(); err != ErrBudget {
+		t.Fatalf("first call err = %v, want ErrBudget", err)
+	}
+	spent := s.Conflicts()
+	if spent <= 5 {
+		t.Fatalf("conflicts = %d, want > 5", spent)
+	}
+	// Without raising the budget, the next call fails immediately.
+	if _, err := s.Solve(); err != ErrBudget {
+		t.Fatalf("second call err = %v, want ErrBudget", err)
+	}
+	// Topping up gives the next call fresh headroom.
+	s.Budget = s.Conflicts() + 100000
+	st, err := s.Solve()
+	if err != nil || st != Unsat {
+		t.Fatalf("topped-up call = %v, %v, want Unsat", st, err)
+	}
+}
+
+// TestPhaseSaving: an unconstrained variable keeps the polarity it was
+// last assigned, so successive solves re-explore saved assignments.
+func TestPhaseSaving(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.NewVar()                          // keep the instance non-trivial
+	st, err := s.Solve(MkLit(a, false)) // assume a
+	if err != nil || st != Sat || !s.Value(a) {
+		t.Fatalf("solve(a) = %v, %v, a=%v", st, err, s.Value(a))
+	}
+	st, err = s.Solve() // a unconstrained: decision repeats saved phase
+	if err != nil || st != Sat {
+		t.Fatalf("solve() = %v, %v", st, err)
+	}
+	if !s.Value(a) {
+		t.Error("phase saving lost: a decided false after being assigned true")
+	}
+}
+
+// TestClauseActivityRescale: bumping near the cap rescales all learnt
+// activities and claInc instead of growing toward +Inf.
+func TestClauseActivityRescale(t *testing.T) {
+	s := New()
+	c1 := &clause{learnt: true, act: 0.5e20}
+	c2 := &clause{learnt: true, act: 1e10}
+	s.learnts = []*clause{c1, c2}
+	s.claInc = 0.6e20
+	s.bumpClause(c1)
+	if c1.act > 1e20 || c2.act > 1e20 {
+		t.Fatalf("activities not rescaled: c1=%g c2=%g", c1.act, c2.act)
+	}
+	if s.claInc >= 0.6e20 {
+		t.Fatalf("claInc not rescaled: %g", s.claInc)
+	}
+	if c1.act <= c2.act {
+		t.Fatalf("relative order lost: c1=%g c2=%g", c1.act, c2.act)
+	}
+}
+
+// TestAssumptionsAgainstBruteForce cross-checks assumption solving on
+// random instances: Solve(assumps) must equal solving the instance
+// with the assumptions added as unit clauses.
+func TestAssumptionsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		nVars := 4 + rng.Intn(6)
+		nClauses := 5 + rng.Intn(30)
+		var cnf [][]Lit
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for c := 0; c < nClauses; c++ {
+			k := 1 + rng.Intn(3)
+			cl := make([]Lit, k)
+			for i := range cl {
+				cl[i] = MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+			}
+			cnf = append(cnf, cl)
+			if !s.AddClause(cl...) {
+				break
+			}
+		}
+		nAssump := 1 + rng.Intn(3)
+		assumps := make([]Lit, nAssump)
+		for i := range assumps {
+			assumps[i] = MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+		}
+		full := append([][]Lit{}, cnf...)
+		for _, a := range assumps {
+			full = append(full, []Lit{a})
+		}
+		want := bruteForce(nVars, full)
+		st, err := s.Solve(assumps...)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if (st == Sat) != want {
+			t.Fatalf("iter %d: solver=%v bruteforce=%v (assumps=%v)", iter, st, want, assumps)
+		}
+		if st == Sat {
+			for _, a := range assumps {
+				val := s.Value(a.Var())
+				if a.Neg() {
+					val = !val
+				}
+				if !val {
+					t.Fatalf("iter %d: model violates assumption %v", iter, a)
+				}
+			}
+			for ci, cl := range cnf {
+				ok := false
+				for _, l := range cl {
+					val := s.Value(l.Var())
+					if l.Neg() {
+						val = !val
+					}
+					if val {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("iter %d: model violates clause %d", iter, ci)
+				}
+			}
+		}
+		// The solver must stay reusable: an unconstrained re-solve of a
+		// formula that was satisfiable without assumptions stays Sat.
+		if bruteForce(nVars, cnf) {
+			st, err := s.Solve()
+			if err != nil || st != Sat {
+				t.Fatalf("iter %d: re-solve = %v, %v, want Sat", iter, st, err)
+			}
+		}
+	}
+}
+
 func TestLubySequence(t *testing.T) {
 	want := []int{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
 	for i, w := range want {

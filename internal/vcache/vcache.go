@@ -68,6 +68,10 @@ type Stats struct {
 	// BudgetExhausted counts verifier runs that hit the SAT conflict
 	// budget (Inconclusive verdicts from solver exhaustion).
 	BudgetExhausted uint64
+	// SolverConflicts accumulates Result.SolverConflicts across live
+	// (non-cached) compute runs: the SAT effort actually spent, as
+	// opposed to effort saved by the cache.
+	SolverConflicts uint64
 	// Canceled counts queries that ended canceled: compute runs whose
 	// context expired mid-solve (result returned but not stored),
 	// dedup waiters whose own context expired before the owner's
@@ -102,14 +106,15 @@ func (s Stats) Counters() map[string]uint64 {
 		"misses":           s.Misses,
 		"evictions":        s.Evictions,
 		"budget_exhausted": s.BudgetExhausted,
+		"solver_conflicts": s.SolverConflicts,
 		"canceled":         s.Canceled,
 	}
 }
 
 // String renders the snapshot for logs and EXPERIMENTS.md.
 func (s Stats) String() string {
-	return fmt.Sprintf("vcache: %d queries, %d hits (%.1f%%), %d misses, %d evictions, %d budget-exhausted, %d canceled, %d entries, %v solver wall time",
-		s.Queries, s.Hits, 100*s.HitRate(), s.Misses, s.Evictions, s.BudgetExhausted, s.Canceled, s.Entries, s.WallTime.Round(time.Millisecond))
+	return fmt.Sprintf("vcache: %d queries, %d hits (%.1f%%), %d misses, %d evictions, %d budget-exhausted, %d canceled, %d entries, %d solver conflicts, %v solver wall time",
+		s.Queries, s.Hits, 100*s.HitRate(), s.Misses, s.Evictions, s.BudgetExhausted, s.Canceled, s.Entries, s.SolverConflicts, s.WallTime.Round(time.Millisecond))
 }
 
 // call is one in-flight computation, shared by duplicate queriers.
@@ -133,6 +138,7 @@ type Engine struct {
 	misses          atomic.Uint64
 	evictions       atomic.Uint64
 	budgetExhausted atomic.Uint64
+	solverConflicts atomic.Uint64
 	canceled        atomic.Uint64
 	wallNanos       atomic.Int64
 }
@@ -212,6 +218,7 @@ func (e *Engine) Do(ctx context.Context, k Key, compute func() alive.Result) ali
 	t0 := time.Now()
 	c.res = compute()
 	e.wallNanos.Add(int64(time.Since(t0)))
+	e.solverConflicts.Add(uint64(c.res.SolverConflicts))
 	if c.res.Verdict == alive.Inconclusive && strings.Contains(c.res.Diag, "solver budget exhausted") {
 		e.budgetExhausted.Add(1)
 	}
@@ -255,6 +262,7 @@ func (e *Engine) Stats() Stats {
 		Misses:          e.misses.Load(),
 		Evictions:       e.evictions.Load(),
 		BudgetExhausted: e.budgetExhausted.Load(),
+		SolverConflicts: e.solverConflicts.Load(),
 		Canceled:        e.canceled.Load(),
 		Entries:         n,
 		WallTime:        time.Duration(e.wallNanos.Load()),
@@ -273,6 +281,7 @@ func (e *Engine) Reset() {
 	e.misses.Store(0)
 	e.evictions.Store(0)
 	e.budgetExhausted.Store(0)
+	e.solverConflicts.Store(0)
 	e.canceled.Store(0)
 	e.wallNanos.Store(0)
 }

@@ -324,3 +324,23 @@ func TestResetClears(t *testing.T) {
 		t.Fatalf("reset left state: %+v", s)
 	}
 }
+
+func TestSolverConflictsAccumulateOnLiveRunsOnly(t *testing.T) {
+	e := New(Config{})
+	compute := func() alive.Result {
+		return alive.Result{Verdict: alive.Equivalent, SolverConflicts: 7}
+	}
+	e.Do(bg, keyN(0), compute)
+	e.Do(bg, keyN(0), compute) // cache hit: no live solver work
+	e.Do(bg, keyN(1), compute)
+	if got := e.Stats().SolverConflicts; got != 14 {
+		t.Fatalf("SolverConflicts = %d, want 14 (two live runs of 7)", got)
+	}
+	if got := e.Stats().Counters()["solver_conflicts"]; got != 14 {
+		t.Fatalf("Counters()[solver_conflicts] = %d, want 14", got)
+	}
+	e.Reset()
+	if got := e.Stats().SolverConflicts; got != 0 {
+		t.Fatalf("SolverConflicts after Reset = %d, want 0", got)
+	}
+}
