@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 lint serve-smoke resume-smoke bench bench-workers bench-solver
+.PHONY: all tier1 tier2 lint serve-smoke resume-smoke store-smoke bench bench-workers bench-solver bench-store
 
 all: tier1 tier2
 
@@ -16,7 +16,7 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: lint serve-smoke resume-smoke
+tier2: lint serve-smoke resume-smoke store-smoke
 	$(GO) test -race ./...
 
 # Serving-layer acceptance gate: >=100 concurrent /v1/verify requests
@@ -30,6 +30,14 @@ serve-smoke:
 # Model-Latency bytes to equal an uninterrupted run's.
 resume-smoke:
 	$(GO) test -run TestResumeSmoke -count=1 ./internal/pipeline
+
+# Tiered-storage acceptance gate: fill a -store-dir past the hot
+# tier's bound over HTTP, restart the server on the same directory
+# behind a failing base verifier, and require every previously-proved
+# pair answered from disk with zero solver runs while the in-memory
+# tier stays under its entry bound.
+store-smoke:
+	$(GO) test -run TestStoreSmoke -count=1 ./internal/server
 
 # lint fails on any vet diagnostic or unformatted file.
 lint:
@@ -66,3 +74,10 @@ bench-solver:
 	BENCH_SOLVER_BASELINE_BENCH_NS=$(BASELINE_BENCH_NS) \
 	BENCH_SOLVER_BASELINE_TRAIN_NS=$(BASELINE_TRAIN_NS) \
 	$(GO) test -run TestSolverWallBench -count=1 -v .
+
+# Verdict-store micro-benchmark: append throughput, read-hit/-miss
+# latency, replay wall, and the writer-visible compaction pause,
+# written to BENCH_vstore.json (quoted in EXPERIMENTS.md).
+bench-store:
+	BENCH_VSTORE_OUT=$(CURDIR)/BENCH_vstore.json \
+	$(GO) test -run TestStoreBench -count=1 -v ./internal/vstore

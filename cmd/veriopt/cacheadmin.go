@@ -1,0 +1,103 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/vcache"
+	"veriopt/internal/vstore"
+)
+
+// cmdCache is the verdict-storage admin surface:
+//
+//	veriopt cache migrate -from cache.jsonl -store-dir DIR
+//	veriopt cache stat    -store-dir DIR
+//	veriopt cache compact -store-dir DIR
+//
+// migrate streams a legacy -cache-file JSONL snapshot into a segment
+// store, so existing deployments move to -store-dir without re-proving
+// anything. stat prints the store's stats; compact runs one compaction
+// synchronously and reports what it reclaimed.
+func cmdCache(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: veriopt cache {migrate|stat|compact} [flags]")
+	}
+	op, args := args[0], args[1:]
+	fs := flag.NewFlagSet("cache "+op, flag.ExitOnError)
+	dir := fs.String("store-dir", "", "verdict store directory")
+	from := fs.String("from", "", "legacy JSONL cache snapshot to migrate (migrate only)")
+	switch op {
+	case "migrate", "stat", "compact":
+	default:
+		return fmt.Errorf("unknown cache operation %q (want migrate, stat, or compact)", op)
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("veriopt cache %s: -store-dir is required", op)
+	}
+
+	st, err := vstore.Open(*dir, vstore.Config{})
+	if err != nil {
+		return fmt.Errorf("open verdict store: %w", err)
+	}
+	defer func() {
+		if cerr := st.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "error: close verdict store:", cerr)
+		}
+	}()
+
+	switch op {
+	case "migrate":
+		if *from == "" {
+			return fmt.Errorf("veriopt cache migrate: -from snapshot file is required")
+		}
+		f, err := os.Open(*from)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := vcache.ReadSnapshot(f, func(k vcache.Key, res alive.Result) error {
+			return st.Put(k, res)
+		})
+		if err != nil {
+			return fmt.Errorf("migrate %s: %w", *from, err)
+		}
+		if err := st.Sync(); err != nil {
+			return err
+		}
+		s := st.Stats()
+		fmt.Printf("migrated %d verdicts from %s into %s (%d entries, %d segments)\n",
+			n, *from, *dir, s.Entries, s.Segments)
+		fmt.Println("the snapshot file is untouched; switch the service to -store-dir and retire -cache-file")
+	case "stat":
+		s := st.Stats()
+		fmt.Printf("%s\n", s)
+		for _, line := range []struct {
+			name string
+			val  int64
+		}{
+			{"segments", int64(s.Segments)},
+			{"entries", int64(s.Entries)},
+			{"live_bytes", s.LiveBytes},
+			{"dead_bytes", s.DeadBytes},
+		} {
+			fmt.Printf("%-12s %d\n", line.name, line.val)
+		}
+	case "compact":
+		res, ok, err := st.Compact()
+		if err != nil {
+			return fmt.Errorf("compact: %w", err)
+		}
+		if !ok {
+			fmt.Println("compaction already running; nothing done")
+			return nil
+		}
+		fmt.Printf("compacted %d segments: %d live records kept, %d dropped, %d bytes reclaimed, %v writer pause\n",
+			res.SegmentsIn, res.Live, res.Dropped, res.ReclaimedBytes, res.Pause)
+	}
+	return nil
+}

@@ -73,6 +73,8 @@ func main() {
 		err = cmdOptimize(ctx, os.Args[2:])
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
+	case "cache":
+		err = cmdCache(os.Args[2:])
 	case "list":
 		fmt.Println("available experiments:")
 		for _, id := range experiments.IDs() {
@@ -106,6 +108,9 @@ subcommands:
   serve        HTTP/JSON verification service: /v1/verify, /v1/optimize,
                /v1/evaluate, /healthz, /metrics; bounded queue with 429
                shedding, graceful drain on SIGTERM
+  cache        verdict-store admin: migrate a legacy -cache-file JSONL
+               snapshot into a -store-dir segment store, print store
+               stats, or compact away superseded records
   dataset      generate a corpus and write .ll files
   list         list experiment ids
 
@@ -162,18 +167,26 @@ func buildContext(ctx context.Context, rec *obs.Recorder, n int, seed int64, s1,
 // reportVerifierStats prints the oracle stack's counters (per-verdict
 // query distribution plus cache hits and solver wall time) to stderr.
 func reportVerifierStats(o oracle.Oracle) {
-	src, ok := oracle.OrDefault(o).(oracle.StatsSource)
+	resolved := oracle.OrDefault(o)
+	src, ok := resolved.(oracle.StatsSource)
 	if !ok {
 		return
 	}
 	ostats, cstats := src.OracleStats()
 	fmt.Fprintf(os.Stderr, "[%s]\n[%s]\n", ostats, cstats)
+	if ss, ok := resolved.(oracle.StoreSource); ok {
+		if st := ss.VStore(); st != nil {
+			fmt.Fprintf(os.Stderr, "[%s]\n", st.Stats())
+		}
+	}
 }
 
 func cmdExperiments(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
 	run := fs.String("run", "all", "experiment id or 'all'")
-	cacheFile := fs.String("cache-file", "", "verdict-cache snapshot: load at start, flush at exit (warm-starts reruns)")
+	storeDir := fs.String("store-dir", "",
+		"durable verdict store directory: verdicts append incrementally as they are proved (warm-starts reruns)")
+	cacheFile := fs.String("cache-file", "", "DEPRECATED (use -store-dir) verdict-cache snapshot: load at start, flush at exit")
 	n, seed, s1, s2, s3, workers, trace := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -186,6 +199,11 @@ func cmdExperiments(ctx context.Context, args []string) error {
 	c := buildContext(ctx, rec, *n, *seed, *s1, *s2, *s3, *workers)
 	defer reportVerifierStats(c.Oracle)
 	stack := oracle.Default()
+	st, err := openStoreDir(stack, *storeDir, *cacheFile, rec)
+	if err != nil {
+		return err
+	}
+	defer closeStore(st, rec)
 	if err := loadCacheFile(stack, *cacheFile, rec); err != nil {
 		return err
 	}
@@ -217,7 +235,9 @@ func cmdTrain(ctx context.Context, args []string) error {
 	checkpoint := fs.String("checkpoint", "", "checkpoint directory: snapshot after every stage boundary and every -ckpt-every steps")
 	resume := fs.Bool("resume", false, "continue from the checkpoint in -checkpoint (bit-identical to an uninterrupted run)")
 	ckptEvery := fs.Int("ckpt-every", pipeline.DefaultCkptEvery, "mid-stage checkpoint cadence in GRPO steps")
-	cacheFile := fs.String("cache-file", "", "verdict-cache snapshot: load at start, flush at exit (warm-starts reruns)")
+	storeDir := fs.String("store-dir", "",
+		"durable verdict store directory: verdicts append incrementally as they are proved (warm-starts reruns)")
+	cacheFile := fs.String("cache-file", "", "DEPRECATED (use -store-dir) verdict-cache snapshot: load at start, flush at exit")
 	n, seed, s1, s2, s3, workers, trace := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -233,6 +253,11 @@ func cmdTrain(ctx context.Context, args []string) error {
 	}
 	defer reportVerifierStats(c.Oracle)
 	stack := oracle.Default()
+	st, err := openStoreDir(stack, *storeDir, *cacheFile, rec)
+	if err != nil {
+		return err
+	}
+	defer closeStore(st, rec)
 	if err := loadCacheFile(stack, *cacheFile, rec); err != nil {
 		return err
 	}

@@ -35,9 +35,11 @@ func cmdServe(ctx context.Context, args []string) error {
 		"default per-request deadline, queue wait included (requests may set their own timeout_ms)")
 	grace := fs.Duration("grace", server.DefaultGracePeriod, "drain deadline after SIGTERM/SIGINT")
 	trace := fs.String("trace", "", "write JSON-lines request-span events to this file ('-' = stderr)")
+	storeDir := fs.String("store-dir", "",
+		"durable verdict store directory: verdicts append incrementally as they are proved, survive crashes, and warm-start the next boot")
 	cacheFile := fs.String("cache-file", "",
-		"verdict-cache snapshot: load at boot (warm start), flush every -cache-flush and on graceful shutdown")
-	cacheFlush := fs.Duration("cache-flush", time.Minute, "periodic verdict-cache flush interval for -cache-file (0 = only at shutdown)")
+		"DEPRECATED (use -store-dir; see `veriopt cache migrate`) verdict-cache snapshot: load at boot, flush every -cache-flush and on graceful shutdown")
+	cacheFlush := fs.Duration("cache-flush", time.Minute, "periodic verdict-cache flush interval for the deprecated -cache-file (0 = only at shutdown)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,14 +67,27 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	o := oracle.Default()
 	defer reportVerifierStats(o)
+	// The store (when configured) must be attached before the legacy
+	// snapshot loads, so snapshot entries that overflow the hot tier
+	// demote into it instead of vanishing. Closing it after the drain
+	// syncs the unsynced tail — the last durability step of a graceful
+	// shutdown.
+	st, err := openStoreDir(o, *storeDir, *cacheFile, rec)
+	if err != nil {
+		return err
+	}
+	defer closeStore(st, rec)
 	if err := loadCacheFile(o, *cacheFile, rec); err != nil {
 		return err
 	}
-	// The final flush (after the drain) captures everything; periodic
-	// flushes bound the loss window of a hard kill. SaveFile is atomic,
-	// so a flush racing the final one never corrupts the snapshot.
+	// Legacy snapshot persistence: the final flush (after the drain)
+	// captures everything; periodic flushes bound the loss window of a
+	// hard kill. SaveFile is atomic, so a flush racing the final one
+	// never corrupts the snapshot. With -store-dir this whole O(n)
+	// rewrite cycle is replaced by the store's incremental appends, so
+	// the ticker never starts.
 	defer flushCacheFile(o, *cacheFile, rec)
-	if *cacheFile != "" && *cacheFlush > 0 {
+	if *cacheFile != "" && *cacheFlush > 0 && st == nil {
 		go func() {
 			t := time.NewTicker(*cacheFlush)
 			defer t.Stop()

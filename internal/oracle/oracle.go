@@ -31,6 +31,7 @@ import (
 	"veriopt/internal/alive"
 	"veriopt/internal/ir"
 	"veriopt/internal/vcache"
+	"veriopt/internal/vstore"
 )
 
 // Oracle answers verification queries: does tgt refine src under the
@@ -64,9 +65,15 @@ func Base() Oracle {
 // default production shape: stats over a default-sized cache over the
 // base verifier, with no timeout, budget, or fault layer.
 type Config struct {
-	// CacheEntries bounds the verdict cache (<= 0 selects
+	// CacheEntries bounds the verdict cache's hot tier (<= 0 selects
 	// vcache.DefaultMaxEntries).
 	CacheEntries int
+	// Backing, when non-nil, is the durable cold tier under the cache
+	// (see vcache.Backing): hot-tier misses fall through to it before
+	// the solver, computed verdicts write through, and evictions
+	// demote. Pass a *vstore.Store (directly, or via Stack.UseStore)
+	// to also light up the store section of /metrics.
+	Backing vcache.Backing
 	// Timeout bounds each live verification query (0 = none). Timeout
 	// verdicts are Canceled and therefore never cached, so a stack
 	// with a timeout is NOT deterministic under load — keep it out of
@@ -91,11 +98,40 @@ type Stack struct {
 	Engine *vcache.Engine
 	// Stats is the outermost per-verdict counter layer.
 	Stats *StatsCollector
+
+	mu    sync.Mutex
+	store *vstore.Store
 }
 
 // OracleStats implements StatsSource.
 func (s *Stack) OracleStats() (Stats, vcache.Stats) {
 	return s.Stats.Snapshot(), s.Engine.Stats()
+}
+
+// UseStore attaches a durable verdict store as the cache's cold tier
+// and exposes it through VStore for metrics. Attach at boot, before
+// queries flow. If cfg.Backing was already a *vstore.Store, NewStack
+// has done this.
+func (s *Stack) UseStore(st *vstore.Store) {
+	s.mu.Lock()
+	s.store = st
+	s.mu.Unlock()
+	s.Engine.SetBacking(st)
+}
+
+// VStore implements StoreSource: the attached verdict store, or nil.
+func (s *Stack) VStore() *vstore.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store
+}
+
+// StoreSource is implemented by oracles backed by a durable verdict
+// store (notably *Stack after UseStore); consumers like the serving
+// layer's /metrics use it to export storage-engine gauges without
+// knowing the stack's shape. A nil return means no store is attached.
+type StoreSource interface {
+	VStore() *vstore.Store
 }
 
 // StatsSource is implemented by oracles that can report their own
@@ -122,11 +158,15 @@ func NewStack(cfg Config) *Stack {
 	if cfg.Budget > 0 {
 		o = WithBudget(cfg.Budget)(o)
 	}
-	eng := vcache.New(vcache.Config{MaxEntries: cfg.CacheEntries})
+	eng := vcache.New(vcache.Config{MaxEntries: cfg.CacheEntries, Backing: cfg.Backing})
 	o = WithCache(eng)(o)
 	st := &StatsCollector{}
 	o = WithStats(st)(o)
-	return &Stack{Oracle: o, Engine: eng, Stats: st}
+	stack := &Stack{Oracle: o, Engine: eng, Stats: st}
+	if vs, ok := cfg.Backing.(*vstore.Store); ok {
+		stack.store = vs
+	}
+	return stack
 }
 
 var (

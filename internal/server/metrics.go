@@ -203,6 +203,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "veriopt_vcache_wall_seconds_total %g\n", cstats.WallTime.Seconds())
 	}
 
+	if src, ok := s.oracle.(oracle.StoreSource); ok {
+		if st := src.VStore(); st != nil {
+			ss := st.Stats()
+			b.WriteString("# HELP veriopt_vstore_total Verdict-store counters (appends, gets, hits, misses, syncs, compactions, reclaimed_bytes, truncated_tails, ...).\n")
+			b.WriteString("# TYPE veriopt_vstore_total counter\n")
+			writeCounters(&b, "veriopt_vstore_total", ss.Counters())
+			b.WriteString("# HELP veriopt_vstore_segments Segment files in the store.\n")
+			b.WriteString("# TYPE veriopt_vstore_segments gauge\n")
+			fmt.Fprintf(&b, "veriopt_vstore_segments %d\n", ss.Segments)
+			b.WriteString("# HELP veriopt_vstore_entries Live records indexed by the store.\n")
+			b.WriteString("# TYPE veriopt_vstore_entries gauge\n")
+			fmt.Fprintf(&b, "veriopt_vstore_entries %d\n", ss.Entries)
+			b.WriteString("# HELP veriopt_vstore_live_bytes On-disk bytes holding current verdicts.\n")
+			b.WriteString("# TYPE veriopt_vstore_live_bytes gauge\n")
+			fmt.Fprintf(&b, "veriopt_vstore_live_bytes %d\n", ss.LiveBytes)
+			b.WriteString("# HELP veriopt_vstore_dead_bytes On-disk bytes awaiting compaction (superseded records, tombstones).\n")
+			b.WriteString("# TYPE veriopt_vstore_dead_bytes gauge\n")
+			fmt.Fprintf(&b, "veriopt_vstore_dead_bytes %d\n", ss.DeadBytes)
+			b.WriteString("# HELP veriopt_vstore_compact_pause_seconds_total Cumulative writer-visible compaction pause.\n")
+			b.WriteString("# TYPE veriopt_vstore_compact_pause_seconds_total counter\n")
+			fmt.Fprintf(&b, "veriopt_vstore_compact_pause_seconds_total %g\n", ss.CompactPause.Seconds())
+		}
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))
 }

@@ -12,12 +12,18 @@ import (
 	"veriopt/internal/ckpt"
 )
 
-// The verdict cache's durable form is JSON lines: one header object
-// followed by one object per cached verdict, in FIFO (insertion)
-// order, so a reloaded engine evicts in the same order the original
-// would have. Canceled results are transient by contract (see
-// alive.Result.Canceled) and are never written; a snapshot line
-// claiming one is skipped on load.
+// The verdict cache's legacy durable form is JSON lines: one header
+// object followed by one object per cached verdict, coldest first in
+// LRU order, so a reloaded engine reconstructs the same eviction
+// order the original would have used. Canceled results are transient
+// by contract (see alive.Result.Canceled) and are never written; a
+// snapshot line claiming one is skipped on load.
+//
+// With the tiered store (internal/vstore) this format is a migration
+// path, not the persistence mechanism: `veriopt cache migrate`
+// streams a snapshot into a segment store via ReadSnapshot, and
+// SnapshotTo/LoadFrom remain for export and for the deprecated
+// -cache-file flag.
 
 // snapshotHeader is the first JSONL line of a cache snapshot.
 type snapshotHeader struct {
@@ -39,21 +45,21 @@ type snapshotEntry struct {
 	Res  alive.Result  `json:"res"`
 }
 
-// SnapshotTo writes the cache contents to w as JSON lines, preserving
-// FIFO order, and returns the number of entries written. The entry
+// SnapshotTo writes the hot-tier contents to w as JSON lines, coldest
+// entry first, and returns the number of entries written. The entry
 // set is copied under the lock and serialized outside it, so an
 // in-flight snapshot never blocks queries for longer than the copy.
 func (e *Engine) SnapshotTo(w io.Writer) (int, error) {
 	e.mu.Lock()
 	keys := make([]Key, 0, len(e.entries))
 	results := make([]alive.Result, 0, len(e.entries))
-	for _, k := range e.fifo {
-		res, ok := e.entries[k]
-		if !ok || res.Canceled {
+	for el := e.lru.Back(); el != nil; el = el.Prev() {
+		ent := el.Value.(*entry)
+		if ent.res.Canceled {
 			continue
 		}
-		keys = append(keys, k)
-		results = append(results, res)
+		keys = append(keys, ent.key)
+		results = append(results, ent.res)
 	}
 	e.mu.Unlock()
 
@@ -71,13 +77,12 @@ func (e *Engine) SnapshotTo(w io.Writer) (int, error) {
 	return len(keys), bw.Flush()
 }
 
-// LoadFrom restores entries from a SnapshotTo stream into the engine,
-// preserving their FIFO order, and returns the number loaded. Loading
-// bypasses the query counters — a warm start is not a burst of hits —
-// but respects MaxEntries (overflow evicts oldest, counted as usual).
-// Canceled entries are skipped. A malformed line fails loudly rather
-// than silently truncating the cache.
-func (e *Engine) LoadFrom(r io.Reader) (int, error) {
+// ReadSnapshot streams a SnapshotTo-format stream, calling fn for each
+// non-Canceled entry in stored order, and returns the number of
+// entries delivered. It is the shared decoder under LoadFrom and the
+// snapshot→store migration (`veriopt cache migrate`). A malformed
+// header or line fails loudly rather than silently truncating.
+func ReadSnapshot(r io.Reader, fn func(Key, alive.Result) error) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	if !sc.Scan() {
@@ -109,10 +114,9 @@ func (e *Engine) LoadFrom(r io.Reader) (int, error) {
 		if ent.Res.Canceled {
 			continue
 		}
-		k := Key{Src: ent.Src, Dst: ent.Dst, Opts: ent.Opts}
-		e.mu.Lock()
-		e.store(k, ent.Res)
-		e.mu.Unlock()
+		if err := fn(Key{Src: ent.Src, Dst: ent.Dst, Opts: ent.Opts}, ent.Res); err != nil {
+			return n, err
+		}
 		n++
 	}
 	if err := sc.Err(); err != nil {
@@ -121,7 +125,26 @@ func (e *Engine) LoadFrom(r io.Reader) (int, error) {
 	return n, nil
 }
 
-// SaveFile snapshots the cache to path atomically (write-to-temp +
+// LoadFrom restores entries from a SnapshotTo stream into the hot
+// tier, preserving their recency order, and returns the number
+// loaded. Loading bypasses the query counters — a warm start is not a
+// burst of hits — but respects MaxEntries: overflow evicts the
+// coldest entries (counted as usual), demoting them into the backing
+// when one is attached. Canceled entries are skipped. A malformed
+// line fails loudly rather than silently truncating the cache.
+func (e *Engine) LoadFrom(r io.Reader) (int, error) {
+	return ReadSnapshot(r, func(k Key, res alive.Result) error {
+		e.mu.Lock()
+		// Snapshot-loaded entries are not known to the backing: mark
+		// them non-durable so eviction demotes instead of discarding.
+		demoted := e.store(k, res, false)
+		e.mu.Unlock()
+		e.demote(demoted)
+		return nil
+	})
+}
+
+// SaveFile snapshots the hot tier to path atomically (write-to-temp +
 // fsync + rename via internal/ckpt) and returns the entry count. Safe
 // to call while queries are in flight and on every periodic flush: a
 // crash mid-save leaves the previous file intact.

@@ -73,7 +73,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
-func TestSnapshotPreservesFIFOOrder(t *testing.T) {
+func TestSnapshotPreservesEvictionOrder(t *testing.T) {
 	src := New(Config{})
 	fill(t, src, 4)
 	var buf bytes.Buffer
@@ -82,8 +82,9 @@ func TestSnapshotPreservesFIFOOrder(t *testing.T) {
 	}
 
 	// Load into a bounded engine and overflow it by one: the engine
-	// must evict the oldest snapshot entry (key 0), proving insertion
-	// order survived the round trip.
+	// must evict the coldest snapshot entry (key 0 — no entry was hit
+	// after loading, so LRU order is the snapshot's insertion order),
+	// proving eviction order survived the round trip.
 	dst := New(Config{MaxEntries: 4})
 	if _, err := dst.LoadFrom(bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)

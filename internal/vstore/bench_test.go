@@ -1,0 +1,145 @@
+package vstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/vcache"
+)
+
+// Store benchmark: append throughput, read-hit and read-miss latency,
+// reopen (replay) wall, and the writer-visible compaction pause.
+// `make bench-store` runs TestStoreBench with BENCH_VSTORE_OUT set and
+// records the measured numbers in BENCH_vstore.json (quoted in
+// EXPERIMENTS.md). Under plain `go test` the workload shrinks and
+// nothing is written — tier-1 must not fail on a loaded machine.
+
+// benchKey builds a key shaped like real traffic: function-sized texts
+// (a few hundred bytes), unique per i.
+func benchKey(i int) vcache.Key {
+	src := fmt.Sprintf(`define i32 @f_%d(i32 noundef %%0) {
+  %%2 = add i32 %%0, %d
+  %%3 = mul i32 %%2, 3
+  %%4 = sub i32 %%3, %d
+  %%5 = xor i32 %%4, 255
+  ret i32 %%5
+}`, i, i, 2*i)
+	tgt := fmt.Sprintf(`define i32 @f_%d(i32 noundef %%0) {
+  %%2 = mul i32 %%0, 3
+  %%3 = add i32 %%2, %d
+  %%4 = xor i32 %%3, 255
+  ret i32 %%4
+}`, i, i)
+	return vcache.Key{Src: src, Dst: tgt, Opts: alive.DefaultOptions()}
+}
+
+func benchRes(i int) alive.Result {
+	return alive.Result{Verdict: alive.Equivalent, SolverConflicts: i % 977}
+}
+
+func TestStoreBench(t *testing.T) {
+	out := os.Getenv("BENCH_VSTORE_OUT")
+	n := 2_000
+	if out != "" {
+		n = 50_000
+	}
+	dir := t.TempDir()
+	s, err := Open(dir, Config{DisableAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Append phase: n unique verdicts.
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		if err := s.Put(benchKey(i), benchRes(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	appendWall := time.Since(t0)
+	bytesAppended := s.Stats().AppendedBytes
+
+	// Read phases: hits over the live set, misses over absent keys.
+	const reads = 10_000
+	t0 = time.Now()
+	for i := 0; i < reads; i++ {
+		if _, ok, err := s.Get(benchKey(i % n)); err != nil || !ok {
+			t.Fatalf("read hit %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	hitWall := time.Since(t0)
+	t0 = time.Now()
+	for i := 0; i < reads; i++ {
+		if _, ok, err := s.Get(benchKey(n + i)); err != nil || ok {
+			t.Fatalf("read miss %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	missWall := time.Since(t0)
+
+	// Supersede half the records, then compact; the pause is the
+	// writer-visible stall, not the copy.
+	for i := 0; i < n/2; i++ {
+		if err := s.Put(benchKey(i), benchRes(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, ok, err := s.Compact()
+	if err != nil || !ok {
+		t.Fatalf("Compact: ok=%v err=%v", ok, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen phase: full replay of the compacted store.
+	t0 = time.Now()
+	s2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopenWall := time.Since(t0)
+	if st := s2.Stats(); st.Entries != n {
+		t.Fatalf("entries after reopen = %d, want %d", st.Entries, n)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	appendsPerSec := float64(n) / appendWall.Seconds()
+	t.Logf("append:  %d records in %v (%.0f/s, %.1f MB/s)", n, appendWall,
+		appendsPerSec, float64(bytesAppended)/appendWall.Seconds()/1e6)
+	t.Logf("read:    hit %v/op, miss %v/op", hitWall/reads, missWall/reads)
+	t.Logf("compact: %d segments, %d bytes reclaimed, %v writer pause", res.SegmentsIn, res.ReclaimedBytes, res.Pause)
+	t.Logf("reopen:  %v for %d records", reopenWall, n)
+
+	if out == "" {
+		return
+	}
+	doc := map[string]any{
+		"records":                 n,
+		"append_wall_ns":          appendWall.Nanoseconds(),
+		"appends_per_sec":         appendsPerSec,
+		"appended_bytes":          bytesAppended,
+		"read_hit_ns_per_op":      (hitWall / reads).Nanoseconds(),
+		"read_miss_ns_per_op":     (missWall / reads).Nanoseconds(),
+		"compact_segments_in":     res.SegmentsIn,
+		"compact_reclaimed_bytes": res.ReclaimedBytes,
+		"compact_pause_ns":        res.Pause.Nanoseconds(),
+		"reopen_wall_ns":          reopenWall.Nanoseconds(),
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -1,0 +1,271 @@
+package vstore
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Compaction rewrites the live records of every sealed segment into
+// one fresh segment and drops the rest: superseded versions, and
+// tombstones together with everything they shadow. It runs concurrently
+// with readers and the writer — segments being compacted are sealed
+// and immutable, so the only synchronized step is the final swap,
+// which re-points surviving index entries and replaces the manifest
+// atomically. The compacted segment is placed *before* all younger
+// segments in replay order, so records appended while compaction ran
+// still win on the next open.
+//
+// Crash safety follows the ckpt discipline: the new segment is built
+// under a temp name, fsynced, renamed, and only then committed by the
+// manifest swap. A crash anywhere leaves either the old segment set or
+// the new one; the orphaned file is deleted on the next Open.
+
+// CompactResult summarizes one compaction run.
+type CompactResult struct {
+	// SegmentsIn is the number of sealed segments compacted.
+	SegmentsIn int
+	// Live is the number of records carried into the new segment.
+	Live int
+	// Dropped is the number of superseded/tombstone records discarded.
+	Dropped int
+	// ReclaimedBytes is the on-disk space recovered.
+	ReclaimedBytes int64
+	// Pause is the writer-visible stall: how long the swap held the
+	// writer lock. Scanning and copying happen outside it.
+	Pause time.Duration
+}
+
+// move records where one surviving record went, so the swap can
+// re-point its index entry if (and only if) it is still current.
+type move struct {
+	h      [32]byte
+	old    recloc
+	newOff int64
+	n      uint32
+}
+
+// Compact runs one compaction synchronously. If another compaction is
+// already running it returns immediately with ok=false. A store with
+// fewer than two segments (nothing sealed) is a no-op.
+func (s *Store) Compact() (CompactResult, bool, error) {
+	if !s.compacting.CompareAndSwap(false, true) {
+		return CompactResult{}, false, nil
+	}
+	defer s.compacting.Store(false)
+	res, err := s.compact()
+	return res, err == nil, err
+}
+
+// startBackgroundCompact launches compact on its own goroutine.
+// Callers must have checked the trigger condition; the compacting flag
+// dedups concurrent attempts. Errors are recorded, not fatal: a failed
+// compaction leaves the store exactly as it was, only less compact.
+func (s *Store) startBackgroundCompact() {
+	if s.closing.Load() {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	s.compactWG.Add(1)
+	go func() {
+		defer s.compactWG.Done()
+		defer s.compacting.Store(false)
+		if _, err := s.compact(); err != nil {
+			fmt.Fprintln(os.Stderr, "vstore: background compaction:", err)
+		}
+	}()
+}
+
+func (s *Store) compact() (CompactResult, error) {
+	// Snapshot the sealed set. Segments appended after this point are
+	// simply not part of this run.
+	s.mu.RLock()
+	if len(s.order) < 2 {
+		s.mu.RUnlock()
+		return CompactResult{}, nil
+	}
+	sealed := append([]uint64{}, s.order[:len(s.order)-1]...)
+	sealedSet := make(map[uint64]bool, len(sealed))
+	var oldBytes int64
+	for _, seq := range sealed {
+		sealedSet[seq] = true
+		oldBytes += s.segs[seq].size
+	}
+	s.mu.RUnlock()
+
+	// Reserve the output sequence number under the writer lock so a
+	// concurrent rotation cannot collide with it.
+	s.wmu.Lock()
+	newSeq := s.nextSeq
+	s.nextSeq++
+	s.wmu.Unlock()
+
+	tmpPath := filepath.Join(s.dir, fmt.Sprintf("compact-%08d.tmp", newSeq))
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return CompactResult{}, fmt.Errorf("vstore: compact temp: %w", err)
+	}
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	abort := func() {
+		tmp.Close()
+		os.Remove(tmpPath)
+	}
+
+	// Copy phase: walk each sealed segment and carry over every record
+	// the index still considers current. Raw bytes are copied verbatim
+	// — checksums are verified on the way through and never recomputed,
+	// so a bit flip cannot slip past re-encoding.
+	var (
+		moves   []move
+		newOff  int64
+		dropped int
+	)
+	for _, seq := range sealed {
+		s.mu.RLock()
+		seg := s.segs[seq]
+		s.mu.RUnlock()
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			abort()
+			return CompactResult{}, fmt.Errorf("vstore: compact read %s: %w", segmentName(seq), err)
+		}
+		var off int64
+		for int(off) < len(data) {
+			rec, n, err := decodeRecord(data[off:])
+			if err != nil {
+				abort()
+				return CompactResult{}, fmt.Errorf("vstore: compact decode %s at %d: %w", segmentName(seq), off, err)
+			}
+			loc := recloc{seq: seq, off: off, n: uint32(n)}
+			live := false
+			if !rec.Tomb {
+				h := fingerprint(rec.key())
+				s.mu.RLock()
+				live = s.index[h] == loc
+				s.mu.RUnlock()
+				if live {
+					if _, err := bw.Write(data[off : off+int64(n)]); err != nil {
+						abort()
+						return CompactResult{}, fmt.Errorf("vstore: compact write: %w", err)
+					}
+					moves = append(moves, move{h: h, old: loc, newOff: newOff, n: uint32(n)})
+					newOff += int64(n)
+				}
+			}
+			if !live {
+				dropped++
+			}
+			off += int64(n)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		abort()
+		return CompactResult{}, fmt.Errorf("vstore: compact flush: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		abort()
+		return CompactResult{}, fmt.Errorf("vstore: compact fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return CompactResult{}, err
+	}
+
+	newPath := filepath.Join(s.dir, segmentName(newSeq))
+	haveNew := len(moves) > 0
+	if haveNew {
+		if err := os.Rename(tmpPath, newPath); err != nil {
+			os.Remove(tmpPath)
+			return CompactResult{}, fmt.Errorf("vstore: compact rename: %w", err)
+		}
+		syncDir(s.dir)
+	} else {
+		// Every sealed record was dead: no output segment at all.
+		os.Remove(tmpPath)
+	}
+
+	// Swap phase: re-point surviving index entries, replace the
+	// manifest, retire the old segments. This is the only part the
+	// writer ever waits on.
+	t0 := time.Now()
+	s.wmu.Lock()
+	if s.closing.Load() {
+		s.wmu.Unlock()
+		os.Remove(newPath)
+		return CompactResult{}, fmt.Errorf("vstore: store closed during compaction")
+	}
+
+	var newSeg *segment
+	if haveNew {
+		r, err := os.Open(newPath)
+		if err != nil {
+			s.wmu.Unlock()
+			return CompactResult{}, fmt.Errorf("vstore: open compacted segment: %w", err)
+		}
+		newSeg = &segment{seq: newSeq, path: newPath, r: r, size: newOff}
+	}
+
+	s.mu.Lock()
+	carried := 0
+	for _, mv := range moves {
+		if s.index[mv.h] == mv.old {
+			s.index[mv.h] = recloc{seq: newSeq, off: mv.newOff, n: mv.n}
+			newSeg.liveBytes += int64(mv.n)
+			newSeg.liveRecs++
+			carried++
+		} else {
+			// Superseded while compaction ran; dead on arrival in the
+			// new segment, reclaimed by the next run.
+			newSeg.deadBytes += int64(mv.n)
+			newSeg.deadRecs++
+		}
+	}
+	var newOrder []uint64
+	if haveNew {
+		newOrder = append(newOrder, newSeq)
+		s.segs[newSeq] = newSeg
+	}
+	var retired []*segment
+	for _, seq := range s.order {
+		if sealedSet[seq] {
+			retired = append(retired, s.segs[seq])
+			delete(s.segs, seq)
+			continue
+		}
+		newOrder = append(newOrder, seq)
+	}
+	s.order = newOrder
+	s.mu.Unlock()
+
+	if err := s.saveManifest(newOrder); err != nil {
+		s.wmu.Unlock()
+		return CompactResult{}, err
+	}
+	s.wmu.Unlock()
+	pause := time.Since(t0)
+
+	for _, seg := range retired {
+		if seg.r != nil {
+			seg.r.Close()
+		}
+		os.Remove(seg.path)
+	}
+
+	reclaimed := oldBytes - newOff
+	s.compactions.Add(1)
+	if reclaimed > 0 {
+		s.reclaimedBytes.Add(uint64(reclaimed))
+	}
+	s.compactPauseNs.Add(int64(pause))
+	return CompactResult{
+		SegmentsIn:     len(sealed),
+		Live:           carried,
+		Dropped:        dropped,
+		ReclaimedBytes: reclaimed,
+		Pause:          pause,
+	}, nil
+}

@@ -1,0 +1,310 @@
+package vstore
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"veriopt/internal/vcache"
+)
+
+// The crash suite simulates kills at the failure points the design
+// guards: mid-append (torn tail on the active segment), mid-compaction
+// (renamed-but-uncommitted segment, stray temp file), and plain bit
+// rot. The contract under test: reopening loses at most the unsynced
+// tail of the active segment, every surviving record passes its
+// checksum, and corruption that cannot be a crash artifact (sealed
+// segments) fails loudly instead of being guessed around.
+
+// crashedStore builds a store with n records and simulated kill: the
+// writer is abandoned without Close (handles leak until process exit,
+// exactly like a kill -9), so nothing beyond what Put already synced
+// reaches the manifest or an orderly shutdown path.
+func crashedStore(t *testing.T, dir string, n int, cfg Config) {
+	t.Helper()
+	s, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Put(tkey(i), tres(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Abandoned, not closed: no final fsync, no manifest touch.
+}
+
+// activeSegmentPath returns the path of the manifest's active segment.
+func activeSegmentPath(t *testing.T, dir string) string {
+	t.Helper()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := s.segmentSeqs()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, segmentName(seqs[len(seqs)-1]))
+}
+
+func TestKillMidAppendTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	crashedStore(t, dir, 5, Config{})
+	// Simulate the kill landing mid-write: a record header naming a
+	// 4096-byte payload of which only 16 bytes hit the disk.
+	path := activeSegmentPath(t, dir)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := make([]byte, recordHeaderBytes+16)
+	binary.LittleEndian.PutUint32(torn[0:4], 4096)
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer s.Close()
+	if st := s.Stats(); st.TruncatedTails != 1 || st.Entries != 5 {
+		t.Fatalf("stats after repair: %+v", st)
+	}
+	for i := 0; i < 5; i++ {
+		sameResult(t, mustGet(t, s, tkey(i)), tres(i))
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("torn tail not truncated: %d -> %d bytes", before.Size(), after.Size())
+	}
+	// The repaired store accepts new appends at the truncated offset.
+	if err := s.Put(tkey(5), tres(5)); err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, mustGet(t, s, tkey(5)), tres(5))
+}
+
+func TestBitFlipInActiveTailTruncatesFromThere(t *testing.T) {
+	dir := t.TempDir()
+	crashedStore(t, dir, 5, Config{})
+	path := activeSegmentPath(t, dir)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit in the LAST record: the checksum fails, the
+	// scan stops there, and only that record is lost.
+	blob[len(blob)-2] ^= 0x40
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("reopen after tail bit flip: %v", err)
+	}
+	defer s.Close()
+	st := s.Stats()
+	if st.TruncatedTails != 1 {
+		t.Fatalf("no tail repair recorded: %+v", st)
+	}
+	if st.Entries != 4 {
+		t.Fatalf("entries = %d, want 4 (only the flipped record lost)", st.Entries)
+	}
+	for i := 0; i < 4; i++ {
+		sameResult(t, mustGet(t, s, tkey(i)), tres(i))
+	}
+	if _, ok, _ := s.Get(tkey(4)); ok {
+		t.Fatal("corrupt record served")
+	}
+}
+
+func TestBitFlipInSealedSegmentFailsOpenLoudly(t *testing.T) {
+	dir := t.TempDir()
+	// SegmentBytes: 1 seals a segment on every append, so record 0
+	// lives in a sealed segment.
+	s, err := Open(dir, Config{SegmentBytes: 1, DisableAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(tkey(i), tres(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs := s.segmentSeqs()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sealed := filepath.Join(dir, segmentName(seqs[0]))
+	blob, err := os.ReadFile(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) == 0 {
+		t.Fatalf("sealed segment %s empty", sealed)
+	}
+	blob[len(blob)/2] ^= 0x01
+	if err := os.WriteFile(sealed, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Open(dir, Config{})
+	if err == nil {
+		t.Fatal("open succeeded over a corrupt sealed segment")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("error does not name the corruption: %v", err)
+	}
+}
+
+func TestKillMidCompactionLeavesOldSegmentSet(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{SegmentBytes: 1, DisableAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	for round := 0; round < 2; round++ {
+		for i := 0; i < n; i++ {
+			if err := s.Put(tkey(i), tres(100*round+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	nextSeq := s.nextSeq
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the two mid-compaction kill points. Before the rename:
+	// a half-written temp file. After the rename but before the
+	// manifest swap: a fully-written .vlog the manifest does not name.
+	// Both must be discarded — the manifest still names the old set,
+	// which remains complete and valid.
+	tmp := filepath.Join(dir, "compact-99999999.tmp")
+	if err := os.WriteFile(tmp, []byte("half a record"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	renamed := filepath.Join(dir, segmentName(nextSeq))
+	rec, err := encodeRecord(record{Src: "ghost", Dst: "dst", Res: tres(999)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(renamed, rec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Config{DisableAutoCompact: true})
+	if err != nil {
+		t.Fatalf("reopen after mid-compaction crash: %v", err)
+	}
+	defer s2.Close()
+	for _, p := range []string{tmp, renamed} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("crashed-compaction leftover %s survived open", filepath.Base(p))
+		}
+	}
+	// All records intact at their newest versions; the uncommitted
+	// ghost record is invisible.
+	if st := s2.Stats(); st.Entries != n {
+		t.Fatalf("entries = %d, want %d", st.Entries, n)
+	}
+	for i := 0; i < n; i++ {
+		sameResult(t, mustGet(t, s2, tkey(i)), tres(100+i))
+	}
+	if _, ok, _ := s2.Get(vcache.Key{Src: "ghost", Dst: "dst"}); ok {
+		t.Fatal("uncommitted compaction output was replayed")
+	}
+}
+
+func TestCrashAfterCompactionCommitKeepsNewSet(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{SegmentBytes: 1, DisableAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	for round := 0; round < 2; round++ {
+		for i := 0; i < n; i++ {
+			if err := s.Put(tkey(i), tres(100*round+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, ok, err := s.Compact(); err != nil || !ok {
+		t.Fatalf("Compact: ok=%v err=%v", ok, err)
+	}
+	// Abandon without Close: a kill right after the manifest swap.
+	s2, err := Open(dir, Config{DisableAutoCompact: true})
+	if err != nil {
+		t.Fatalf("reopen after committed compaction: %v", err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Entries != n {
+		t.Fatalf("entries = %d, want %d", st.Entries, n)
+	}
+	for i := 0; i < n; i++ {
+		sameResult(t, mustGet(t, s2, tkey(i)), tres(100+i))
+	}
+}
+
+// TestEverySurvivingRecordPassesChecksum is the sweep form of the
+// crash contract: after a torn-tail repair, re-scanning every byte the
+// store kept must decode cleanly.
+func TestEverySurvivingRecordPassesChecksum(t *testing.T) {
+	dir := t.TempDir()
+	crashedStore(t, dir, 10, Config{SegmentBytes: 512, DisableAutoCompact: true})
+	path := activeSegmentPath(t, dir)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xde, 0xad, 0xbe}) // not even a whole header
+	f.Close()
+
+	s, err := Open(dir, Config{DisableAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records int
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".vlog") {
+			continue
+		}
+		blob, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < len(blob); {
+			_, n, err := decodeRecord(blob[off:])
+			if err != nil {
+				t.Fatalf("%s offset %d: surviving record fails decode: %v", e.Name(), off, err)
+			}
+			off += n
+			records++
+		}
+	}
+	if records != 10 {
+		t.Fatalf("swept %d records, want 10", records)
+	}
+}

@@ -1,0 +1,90 @@
+package vstore
+
+import (
+	"bytes"
+	"testing"
+
+	"veriopt/internal/alive"
+)
+
+// FuzzRecordDecode drives decodeRecord with arbitrary bytes plus
+// mutations of valid encodings. The invariants: decoding never
+// panics, a record that decodes equals what a re-encode of it would
+// contain (the CRC passed, so the payload is bit-exact), and any
+// truncation or bit flip of a valid record is rejected with an error
+// — corrupt data must never be served as a verdict.
+func FuzzRecordDecode(f *testing.F) {
+	valid, err := encodeRecord(record{
+		Src:  "define i32 @src(i32 %x) { %r = add i32 %x, 0 ret i32 %r }",
+		Dst:  "define i32 @tgt(i32 %x) { ret i32 %x }",
+		Opts: alive.DefaultOptions(),
+		Res:  alive.Result{Verdict: alive.Equivalent, SolverConflicts: 42},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	tomb, err := encodeRecord(record{Src: "a", Dst: "b", Tomb: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(tomb)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)-1])           // truncated payload
+	f.Add(valid[:recordHeaderBytes-1])    // truncated header
+	f.Add(bytes.Repeat([]byte{0xff}, 64)) // absurd length prefix
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)/2] ^= 0x20
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := decodeRecord(data)
+		if err != nil {
+			return // rejected, as corrupt input must be
+		}
+		if n < recordHeaderBytes || n > len(data) {
+			t.Fatalf("decoded length %d out of bounds (input %d bytes)", n, len(data))
+		}
+		// A record that decoded passed its checksum; re-encoding it must
+		// reproduce the exact payload bytes.
+		re, err := encodeRecord(rec)
+		if err != nil {
+			t.Fatalf("re-encode of decoded record failed: %v", err)
+		}
+		if !bytes.Equal(re[recordHeaderBytes:], data[recordHeaderBytes:n]) {
+			t.Fatalf("decode/encode payload mismatch")
+		}
+	})
+}
+
+// TestFuzzSeedsRejectCorruption pins the corpus expectations outside
+// fuzz mode, so plain `go test` exercises the rejection paths too.
+func TestFuzzSeedsRejectCorruption(t *testing.T) {
+	valid, err := encodeRecord(record{Src: "s", Dst: "d", Opts: alive.DefaultOptions(),
+		Res: alive.Result{Verdict: alive.Equivalent}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := decodeRecord(valid); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	cases := map[string][]byte{
+		"empty":             {},
+		"truncated header":  valid[:recordHeaderBytes-1],
+		"truncated payload": valid[:len(valid)-1],
+		"absurd length":     bytes.Repeat([]byte{0xff}, 64),
+	}
+	for name, data := range cases {
+		if _, _, err := decodeRecord(data); err == nil {
+			t.Errorf("%s: corrupt input decoded without error", name)
+		}
+	}
+	// Every single-bit payload flip must fail the checksum.
+	for i := recordHeaderBytes; i < len(valid); i++ {
+		mut := append([]byte{}, valid...)
+		mut[i] ^= 0x01
+		if _, _, err := decodeRecord(mut); err == nil {
+			t.Errorf("bit flip at offset %d decoded without error", i)
+		}
+	}
+}

@@ -1,0 +1,490 @@
+package vstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/vcache"
+)
+
+func tkey(i int) vcache.Key {
+	return vcache.Key{Src: fmt.Sprintf("src-%d", i), Dst: "dst", Opts: alive.DefaultOptions()}
+}
+
+func tres(i int) alive.Result {
+	return alive.Result{Verdict: alive.SemanticError, Diag: fmt.Sprintf("ERROR: Value mismatch %d", i),
+		Counterexample: map[string]uint64{"x": uint64(i)}, SolverConflicts: 10 * i}
+}
+
+func sameResult(t *testing.T, got, want alive.Result) {
+	t.Helper()
+	if got.Verdict != want.Verdict || got.Diag != want.Diag ||
+		got.SolverConflicts != want.SolverConflicts ||
+		got.Counterexample["x"] != want.Counterexample["x"] {
+		t.Fatalf("result = %+v, want %+v", got, want)
+	}
+}
+
+func mustGet(t *testing.T, s *Store, k vcache.Key) alive.Result {
+	t.Helper()
+	res, ok, err := s.Get(k)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !ok {
+		t.Fatalf("Get(%q): miss, want hit", k.Src)
+	}
+	return res
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		if err := s.Put(tkey(i), tres(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		sameResult(t, mustGet(t, s, tkey(i)), tres(i))
+	}
+	if _, ok, err := s.Get(tkey(99)); err != nil || ok {
+		t.Fatalf("absent key: ok=%v err=%v, want miss", ok, err)
+	}
+	st := s.Stats()
+	if st.Entries != 10 || st.Appends != 10 || st.Hits != 10 || st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestReopenRecoversEverything(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Put(tkey(i), tres(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Entries != 20 {
+		t.Fatalf("entries after reopen = %d, want 20", st.Entries)
+	}
+	for i := 0; i < 20; i++ {
+		sameResult(t, mustGet(t, s2, tkey(i)), tres(i))
+	}
+	// The reopened store is writable and its new appends persist too.
+	if err := s2.Put(tkey(20), tres(20)); err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, mustGet(t, s2, tkey(20)), tres(20))
+}
+
+func TestSupersedeKeepsNewestAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(tkey(0), tres(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(tkey(0), tres(2)); err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, mustGet(t, s, tkey(0)), tres(2))
+	st := s.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+	if st.DeadBytes == 0 {
+		t.Fatal("superseded record left no dead bytes")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	sameResult(t, mustGet(t, s2, tkey(0)), tres(2))
+	if st := s2.Stats(); st.Entries != 1 || st.DeadBytes == 0 {
+		t.Fatalf("reopen stats: %+v", st)
+	}
+}
+
+func TestTombstoneDeletesAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(tkey(0), tres(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(tkey(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(tkey(0)); ok {
+		t.Fatal("deleted key still served")
+	}
+	if st := s.Stats(); st.Entries != 0 || st.Tombstones != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok, _ := s2.Get(tkey(0)); ok {
+		t.Fatal("tombstone did not survive reopen")
+	}
+}
+
+func TestCanceledVerdictsRefused(t *testing.T) {
+	s, err := Open(t.TempDir(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(tkey(0), alive.CanceledResult(nil)); err == nil {
+		t.Fatal("Canceled verdict persisted")
+	}
+	if st := s.Stats(); st.Appends != 0 || st.Entries != 0 {
+		t.Fatalf("refused Put still touched the log: %+v", st)
+	}
+}
+
+func TestRotationSpreadsSegmentsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny threshold rotates on every append.
+	s, err := Open(dir, Config{SegmentBytes: 1, DisableAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for i := 0; i < n; i++ {
+		if err := s.Put(tkey(i), tres(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Segments < n {
+		t.Fatalf("segments = %d, want >= %d (rotate every append)", st.Segments, n)
+	}
+	for i := 0; i < n; i++ {
+		sameResult(t, mustGet(t, s, tkey(i)), tres(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Config{DisableAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Entries != n {
+		t.Fatalf("entries after reopen = %d, want %d", st.Entries, n)
+	}
+	for i := 0; i < n; i++ {
+		sameResult(t, mustGet(t, s2, tkey(i)), tres(i))
+	}
+}
+
+func TestCompactDropsDeadWeight(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{SegmentBytes: 1, DisableAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write each key three times (two superseded copies each) plus one
+	// deleted key; everything is sealed because each append rotates.
+	const n = 6
+	for round := 0; round < 3; round++ {
+		for i := 0; i < n; i++ {
+			if err := s.Put(tkey(i), tres(100*round+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Delete(tkey(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	before := s.Stats()
+	res, ok, err := s.Compact()
+	if err != nil || !ok {
+		t.Fatalf("Compact: ok=%v err=%v", ok, err)
+	}
+	if res.Live != n-1 {
+		t.Fatalf("compaction carried %d records, want %d", res.Live, n-1)
+	}
+	if res.Dropped == 0 || res.ReclaimedBytes <= 0 {
+		t.Fatalf("compaction reclaimed nothing: %+v", res)
+	}
+	after := s.Stats()
+	if after.Segments >= before.Segments {
+		t.Fatalf("segments %d -> %d, want fewer", before.Segments, after.Segments)
+	}
+	if after.Entries != n-1 {
+		t.Fatalf("entries after compact = %d, want %d", after.Entries, n-1)
+	}
+	for i := 1; i < n; i++ {
+		sameResult(t, mustGet(t, s, tkey(i)), tres(200+i))
+	}
+	if _, ok, _ := s.Get(tkey(0)); ok {
+		t.Fatal("tombstoned key resurrected by compaction")
+	}
+	// Old segment files are physically gone.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vlogs int
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".vlog") {
+			vlogs++
+		}
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("compaction left temp file %s", e.Name())
+		}
+	}
+	if vlogs != after.Segments {
+		t.Fatalf("%d .vlog files on disk, stats say %d segments", vlogs, after.Segments)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The compacted store reopens to the same contents.
+	s2, err := Open(dir, Config{DisableAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Entries != n-1 {
+		t.Fatalf("entries after reopen = %d, want %d", st.Entries, n-1)
+	}
+	for i := 1; i < n; i++ {
+		sameResult(t, mustGet(t, s2, tkey(i)), tres(200+i))
+	}
+}
+
+func TestAutoCompactTriggersOnRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{SegmentBytes: 1, CompactMinDeadFrac: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Superseding the same key on every append makes almost every
+	// sealed byte dead, so the rotation trigger fires immediately.
+	for i := 0; i < 20; i++ {
+		if err := s.Put(tkey(0), tres(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil { // waits for background compaction
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Compactions == 0 {
+		t.Fatalf("auto-compaction never ran: %+v", st)
+	}
+
+	s2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	sameResult(t, mustGet(t, s2, tkey(0)), tres(19))
+}
+
+func TestConcurrentReadersWriterAndCompaction(t *testing.T) {
+	s, err := Open(t.TempDir(), Config{SegmentBytes: 512, DisableAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := s.Put(tkey(i), tres(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers hammer the full key range while the writer supersedes and
+	// compactions swap segments underneath them.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := tkey(i % n)
+				res, ok, err := s.Get(k)
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if ok && res.Verdict != alive.SemanticError {
+					t.Errorf("wrong verdict %v", res.Verdict)
+					return
+				}
+			}
+		}()
+	}
+	writerDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(writerDone)
+		for round := 1; round <= 8; round++ {
+			for i := 0; i < n; i++ {
+				if err := s.Put(tkey(i), tres(1000*round+i)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+			if _, _, err := s.Compact(); err != nil {
+				t.Errorf("Compact: %v", err)
+				return
+			}
+		}
+	}()
+	<-writerDone
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	for i := 0; i < n; i++ {
+		sameResult(t, mustGet(t, s, tkey(i)), tres(8000+i))
+	}
+}
+
+func TestStatsStringAndCounters(t *testing.T) {
+	s, err := Open(t.TempDir(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(tkey(0), tres(0)); err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, s, tkey(0))
+	st := s.Stats()
+	if got := st.String(); !strings.Contains(got, "1 entries") || !strings.Contains(got, "1 appends") {
+		t.Fatalf("String() = %q", got)
+	}
+	c := st.Counters()
+	for _, name := range []string{"appends", "appended_bytes", "tombstones", "gets", "hits",
+		"misses", "syncs", "compactions", "reclaimed_bytes", "truncated_tails"} {
+		if _, ok := c[name]; !ok {
+			t.Fatalf("Counters() missing %q", name)
+		}
+	}
+	if c["appends"] != 1 || c["hits"] != 1 {
+		t.Fatalf("Counters() = %v", c)
+	}
+}
+
+func TestClosedStoreRefusesAppends(t *testing.T) {
+	s, err := Open(t.TempDir(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(tkey(0), tres(0)); err == nil {
+		t.Fatal("Put after Close succeeded")
+	}
+}
+
+func TestFingerprintCollisionDegradesToMiss(t *testing.T) {
+	s, err := Open(t.TempDir(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Force a collision by planting key A's record under key B's
+	// fingerprint slot directly in the index.
+	if err := s.Put(tkey(1), tres(1)); err != nil {
+		t.Fatal(err)
+	}
+	hA := fingerprint(tkey(1))
+	hB := fingerprint(tkey(2))
+	s.mu.Lock()
+	s.index[hB] = s.index[hA]
+	s.mu.Unlock()
+	// The stored record's full key disagrees with the queried key, so
+	// the read reports a miss instead of key 1's verdict.
+	if _, ok, err := s.Get(tkey(2)); err != nil || ok {
+		t.Fatalf("collision read: ok=%v err=%v, want clean miss", ok, err)
+	}
+}
+
+func TestManifestIsTheCommitPoint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(tkey(0), tres(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Files the manifest does not own — crashed-compaction leftovers —
+	// are removed on open and never replayed.
+	orphanSeg := filepath.Join(dir, segmentName(77))
+	orphanTmp := filepath.Join(dir, "compact-00000077.tmp")
+	for _, p := range []string{orphanSeg, orphanTmp} {
+		if err := os.WriteFile(p, []byte("garbage that would fail any scan"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, p := range []string{orphanSeg, orphanTmp} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived open", filepath.Base(p))
+		}
+	}
+	sameResult(t, mustGet(t, s2, tkey(0)), tres(0))
+}
