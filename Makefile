@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 lint serve-smoke resume-smoke store-smoke bench bench-workers bench-solver bench-store
+.PHONY: all tier1 tier2 lint serve-smoke resume-smoke store-smoke cluster-smoke bench bench-workers bench-solver bench-store bench-cluster
 
 all: tier1 tier2
 
@@ -16,7 +16,7 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: lint serve-smoke resume-smoke store-smoke
+tier2: lint serve-smoke resume-smoke store-smoke cluster-smoke
 	$(GO) test -race ./...
 
 # Serving-layer acceptance gate: >=100 concurrent /v1/verify requests
@@ -38,6 +38,16 @@ resume-smoke:
 # tier stays under its entry bound.
 store-smoke:
 	$(GO) test -run TestStoreSmoke -count=1 ./internal/server
+
+# Cluster acceptance gate: real worker processes behind a real
+# coordinator process. Requires >= 1.7x throughput at 2 replicas and
+# >= 3x at 4 (latency-bound workload via -sim-delay), hedged p99 well
+# under the unhedged p99 on a skewed-latency fleet, and zero
+# accepted-work loss across a mid-run SIGKILL of one replica followed
+# by automatic ring healing. Also refreshes BENCH_cluster.json.
+cluster-smoke:
+	CLUSTER_SMOKE=1 BENCH_CLUSTER_OUT=$(CURDIR)/BENCH_cluster.json \
+	$(GO) test -run TestClusterSmoke -count=1 -v ./internal/cluster
 
 # lint fails on any vet diagnostic or unformatted file.
 lint:
@@ -81,3 +91,8 @@ bench-solver:
 bench-store:
 	BENCH_VSTORE_OUT=$(CURDIR)/BENCH_vstore.json \
 	$(GO) test -run TestStoreBench -count=1 -v ./internal/vstore
+
+# Cluster fan-out benchmark: 1/2/4-replica throughput plus hedged vs
+# unhedged latency quantiles, written to BENCH_cluster.json (quoted in
+# EXPERIMENTS.md). Same harness as cluster-smoke.
+bench-cluster: cluster-smoke

@@ -9,20 +9,43 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"veriopt/internal/cluster"
 	"veriopt/internal/obs"
 	"veriopt/internal/oracle"
 	"veriopt/internal/policy"
 	"veriopt/internal/server"
 )
 
+// splitReplicas parses the -replicas flag: comma-separated base URLs,
+// empties dropped, trailing slashes trimmed so URL+path joins stay
+// clean.
+func splitReplicas(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimRight(strings.TrimSpace(part), "/")
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 // cmdServe runs the verification-as-a-service front-end: a long-lived
 // HTTP/JSON server over the oracle stack (see internal/server).
 // SIGTERM or SIGINT drains gracefully — stop accepting, finish
 // in-flight requests within -grace, then flush the oracle/cache stats
 // to stderr.
+//
+// With -replicas the process becomes a cluster coordinator (see
+// internal/cluster): /v1/verify queries that miss the local verdict
+// cache are consistent-hashed across the named worker replicas, with
+// hedged requests, failure re-routing, and local verification as the
+// last-resort fallback. /healthz reports role=coordinator and
+// /metrics grows the per-replica and fleet-merged sections.
 func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8723", "listen address")
@@ -40,6 +63,16 @@ func cmdServe(ctx context.Context, args []string) error {
 	cacheFile := fs.String("cache-file", "",
 		"DEPRECATED (use -store-dir; see `veriopt cache migrate`) verdict-cache snapshot: load at boot, flush every -cache-flush and on graceful shutdown")
 	cacheFlush := fs.Duration("cache-flush", time.Minute, "periodic verdict-cache flush interval for the deprecated -cache-file (0 = only at shutdown)")
+	replicas := fs.String("replicas", "",
+		"coordinator mode: comma-separated worker base URLs (http://host:port); queries are consistent-hashed across them, with local verification as the fallback when the fleet fails")
+	vnodes := fs.Int("vnodes", cluster.DefaultVNodes, "coordinator ring virtual nodes per replica")
+	hedge := fs.Bool("hedge", true, "coordinator: speculatively re-issue slow queries to the next replica on the ring")
+	hedgeAfter := fs.Duration("hedge-after", 0,
+		"coordinator: fixed hedge delay (0 = adaptive, max(1ms, min(p99, 4*p50)) of recent winning latencies)")
+	simDelay := fs.Duration("sim-delay", 0,
+		"TESTING: inject this latency before every live verification (makes a 1-CPU fan-out benchmark latency-bound instead of CPU-bound)")
+	simTailEvery := fs.Int("sim-tail-every", 0, "TESTING: every Nth query sleeps -sim-tail-delay instead of -sim-delay")
+	simTailDelay := fs.Duration("sim-tail-delay", 0, "TESTING: the injected tail latency for -sim-tail-every")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,7 +98,41 @@ func cmdServe(ctx context.Context, args []string) error {
 			return err
 		}
 	}
-	o := oracle.Default()
+	// The default shared stack serves the plain single-process case;
+	// coordinator mode and the latency-injection testing knobs need
+	// their own stack shape.
+	var (
+		o     *oracle.Stack
+		coord *cluster.Coordinator
+		role  = "worker"
+	)
+	base := oracle.Base()
+	if *simDelay > 0 || *simTailDelay > 0 {
+		base = oracle.WithSimulatedLatency(*simDelay, *simTailEvery, *simTailDelay)(base)
+	}
+	switch {
+	case *replicas != "":
+		urls := splitReplicas(*replicas)
+		if len(urls) == 0 {
+			return fmt.Errorf("-replicas is set but names no URLs")
+		}
+		coord, err = cluster.New(cluster.Config{
+			Replicas:     urls,
+			VNodes:       *vnodes,
+			HedgeAfter:   *hedgeAfter,
+			DisableHedge: !*hedge,
+			Obs:          rec,
+		})
+		if err != nil {
+			return err
+		}
+		o = oracle.NewStack(oracle.Config{Remote: coord, Base: base})
+		role = "coordinator"
+	case *simDelay > 0 || *simTailDelay > 0:
+		o = oracle.NewStack(oracle.Config{Base: base})
+	default:
+		o = oracle.Default()
+	}
 	defer reportVerifierStats(o)
 	// The store (when configured) must be attached before the legacy
 	// snapshot loads, so snapshot entries that overflow the hot tier
@@ -102,7 +169,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		}()
 	}
 
-	srv := server.New(server.Config{
+	scfg := server.Config{
 		Workers:        *workers,
 		QueueSize:      *queueSize,
 		DefaultTimeout: *timeout,
@@ -110,7 +177,16 @@ func cmdServe(ctx context.Context, args []string) error {
 		Oracle:         o,
 		Model:          model,
 		Obs:            rec,
-	})
+		Role:           role,
+	}
+	if coord != nil {
+		scfg.ExtraMetrics = coord.MetricsText
+		coord.Start(ctx)
+		defer coord.Wait()
+		fmt.Fprintf(os.Stderr, "veriopt serve: coordinating %d replicas (hedge %v)\n",
+			len(splitReplicas(*replicas)), *hedge)
+	}
+	srv := server.New(scfg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -1,0 +1,103 @@
+// Package cluster is the horizontal scale-out layer behind veriopt
+// serve: a coordinator process that spreads verification queries
+// across N worker replicas by consistent-hashing the query
+// fingerprint — the same sha256 fingerprint the verdict cache and the
+// durable store key on — so each (src, dst, opts) triple lands on a
+// stable replica and that replica's hot cache and on-disk store
+// accumulate exactly the verdicts it will be asked for again.
+//
+// The pieces:
+//
+//   - Ring: a consistent-hash ring with virtual nodes. Order(key)
+//     returns the full distinct-replica preference order for a key, so
+//     retries and hedges walk successors instead of re-rolling.
+//   - Coordinator: implements oracle.Remote over the ring — per-replica
+//     bounded HTTP clients, cross-node singleflight, hedged requests
+//     with a quantile-derived delay, retry-with-backoff re-routing on
+//     replica failure, and /healthz probing that heals the ring.
+//   - MetricsText: the coordinator's /metrics section — per-replica
+//     request/hedge/retry counters plus a merged scrape of the worker
+//     fleet's oracle/vcache/vstore counters.
+//
+// The coordinator composes into the oracle stack via
+// oracle.WithShard, inside the local verdict cache and outside the
+// local budget/timeout limits, so memoized verdicts never touch the
+// network and a dead cluster degrades to local verification rather
+// than an outage.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per replica. 64 points per
+// replica keeps the ring's load spread within a few percent of even
+// for small fleets while the whole ring stays a few KB.
+const DefaultVNodes = 64
+
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+// Ring is an immutable consistent-hash ring over a fixed replica set.
+// Health is deliberately not the ring's concern: the ring answers
+// "which replicas, in what order, does this key prefer", and the
+// coordinator reorders that answer healthy-first. Keeping the ring
+// immutable means a flapping replica never remaps keys owned by
+// stable replicas — it is skipped, not removed.
+type Ring struct {
+	points []ringPoint
+	n      int
+}
+
+// NewRing builds a ring over replicas (identified by index) with
+// vnodes virtual points each (<= 0 selects DefaultVNodes). The point
+// hashes are derived from the replica's base URL so the same fleet
+// listed in any order produces the same key placement.
+func NewRing(replicas []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{n: len(replicas), points: make([]ringPoint, 0, len(replicas)*vnodes)}
+	for i, url := range replicas {
+		for v := 0; v < vnodes; v++ {
+			sum := sha256.Sum256([]byte(url + "#" + strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{hash: binary.BigEndian.Uint64(sum[:8]), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// Replicas reports the replica count the ring was built over.
+func (r *Ring) Replicas() int { return r.n }
+
+// Order returns the key's full preference order: the owner replica
+// first, then each distinct successor walking clockwise from the
+// key's point. len == the replica count, every index exactly once.
+// Retries and hedges consume this order left to right, so a key's
+// fallback placement is as stable as its primary placement.
+func (r *Ring) Order(key [sha256.Size]byte) []int {
+	order := make([]int, 0, r.n)
+	if r.n == 0 {
+		return order
+	}
+	h := binary.BigEndian.Uint64(key[:8])
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make([]bool, r.n)
+	for i := 0; len(order) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			order = append(order, p.idx)
+		}
+	}
+	return order
+}
+
+// Owner returns the key's primary replica index.
+func (r *Ring) Owner(key [sha256.Size]byte) int { return r.Order(key)[0] }

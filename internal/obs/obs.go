@@ -32,7 +32,8 @@ type Event struct {
 	ElapsedMs float64 `json:"elapsed_ms"`
 	// Kind names the event: run_start, stage_start, stage_end, eval,
 	// run_end, interrupted, request (one serving-layer request span;
-	// see RequestEvent), ...
+	// see RequestEvent), replica_down/replica_up (cluster ring
+	// membership; see ClusterEvent), ...
 	Kind string `json:"kind"`
 	// Stage names the curriculum stage, evaluation target, or — for
 	// request events — the endpoint path.
@@ -142,6 +143,24 @@ func RequestEvent(endpoint string, status int, queueWait, wall time.Duration) Ev
 		Fields: map[string]float64{
 			"status":        float64(status),
 			"queue_wait_ms": float64(queueWait.Microseconds()) / 1000,
+		},
+	}
+}
+
+// ClusterEvent builds a coordinator replica-lifecycle event: kind is
+// "replica_down" or "replica_up", the replica's base URL rides in
+// Stage, and the healthy/total replica counts after the transition in
+// Fields. Emitted by internal/cluster when traffic errors demote a
+// replica or a health probe restores one, so an operator tailing the
+// trace sees ring membership changes without scraping /metrics.
+func ClusterEvent(kind, replica string, healthy, total int, note string) Event {
+	return Event{
+		Kind:  kind,
+		Stage: replica,
+		Note:  note,
+		Fields: map[string]float64{
+			"healthy_replicas": float64(healthy),
+			"total_replicas":   float64(total),
 		},
 	}
 }

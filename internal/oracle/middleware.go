@@ -107,6 +107,75 @@ func WithBudget(max int64) Middleware {
 	}
 }
 
+// Remote answers verification queries over the network — implemented
+// by the cluster coordinator (internal/cluster), which consistent-
+// hashes each query's fingerprint across worker replicas. Unlike
+// Oracle, a Remote can fail to answer at all (every replica down or
+// shedding); the error return carries that, so WithShard can decide
+// between the remote verdict and the local fallback.
+type Remote interface {
+	VerifyRemote(ctx context.Context, src, tgt *ir.Function, opts alive.Options) (alive.Result, error)
+}
+
+// WithShard routes queries to a remote verification cluster, falling
+// back to the inner (local) oracle only when the cluster cannot answer
+// — every reachable replica failed or shed. In the canonical stack it
+// sits between the cache and the limit layers: memoized verdicts are
+// served without a network hop, remote verdicts are memoized like
+// local ones, and the local budget/timeout bound only the fallback
+// path (each worker replica enforces its own limits). A query whose
+// own context ends is returned Canceled, never retried locally — the
+// caller is gone either way.
+func WithShard(r Remote) Middleware {
+	return func(next Oracle) Oracle {
+		return Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+			res, err := r.VerifyRemote(ctx, src, tgt, opts)
+			if err == nil {
+				return res
+			}
+			if ctx != nil && ctx.Err() != nil {
+				return alive.CanceledResult(ctx.Err())
+			}
+			return next.Verify(ctx, src, tgt, opts)
+		})
+	}
+}
+
+// WithSimulatedLatency sleeps before every query that reaches it — the
+// cluster harness's stand-in for solver work on machines where real
+// verification would be CPU-bound (a sleeping replica scales with
+// replica count; a spinning one only with cores). Every tailEvery-th
+// query sleeps tail instead of base, modeling the skewed straggler
+// distribution hedged requests exist to cut. The sleep honors ctx, so
+// a hedged loser's cancellation aborts it promptly. Testing/benchmark
+// use only — like WithFaultInjection, it must never appear in a
+// production or deterministic-training stack.
+func WithSimulatedLatency(base time.Duration, tailEvery int, tail time.Duration) Middleware {
+	var n atomic.Uint64
+	return func(next Oracle) Oracle {
+		return Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+			d := base
+			if tailEvery > 0 && tail > 0 && n.Add(1)%uint64(tailEvery) == 0 {
+				d = tail
+			}
+			if d > 0 {
+				t := time.NewTimer(d)
+				defer t.Stop()
+				if ctx == nil {
+					<-t.C
+				} else {
+					select {
+					case <-t.C:
+					case <-ctx.Done():
+						return alive.CanceledResult(ctx.Err())
+					}
+				}
+			}
+			return next.Verify(ctx, src, tgt, opts)
+		})
+	}
+}
+
 // Stats is a point-in-time snapshot of a StatsCollector.
 type Stats struct {
 	// Queries counts every query through the layer.

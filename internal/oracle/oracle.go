@@ -14,13 +14,16 @@
 // Concerns stack as middleware around the base SAT-backed verifier.
 // The canonical order, outermost first (pinned by tests):
 //
-//	WithStats → WithCache → WithBudget → WithTimeout → WithFaultInjection → Base
+//	WithStats → WithCache → WithShard → WithBudget → WithTimeout → WithFaultInjection → Base
 //
 // Stats outermost so verdict counters see every query including cache
 // hits; the cache outside the limits so a memoized verdict is served
 // even when the timeout or budget would refuse live solver work; the
-// limits outside fault injection so injected faults are subject to
-// them in tests.
+// shard layer (coordinator mode only) inside the cache so memoized
+// verdicts never pay a network hop and remote verdicts are memoized
+// like local ones, but outside the limits so the local budget/timeout
+// bound only the local-fallback path; the limits outside fault
+// injection so injected faults are subject to them in tests.
 package oracle
 
 import (
@@ -85,6 +88,11 @@ type Config struct {
 	// Fault, when non-nil, is installed innermost for tests; see
 	// WithFaultInjection.
 	Fault FaultFunc
+	// Remote, when non-nil, makes this stack a cluster coordinator:
+	// queries that miss the cache are routed to the remote replica set
+	// (see WithShard), with everything below the shard layer serving
+	// only as the local fallback when no replica can answer.
+	Remote Remote
 	// Base overrides the bottom of the stack (nil selects Base()).
 	Base Oracle
 }
@@ -157,6 +165,9 @@ func NewStack(cfg Config) *Stack {
 	}
 	if cfg.Budget > 0 {
 		o = WithBudget(cfg.Budget)(o)
+	}
+	if cfg.Remote != nil {
+		o = WithShard(cfg.Remote)(o)
 	}
 	eng := vcache.New(vcache.Config{MaxEntries: cfg.CacheEntries, Backing: cfg.Backing})
 	o = WithCache(eng)(o)

@@ -12,6 +12,7 @@ import (
 	"veriopt/internal/costmodel"
 	"veriopt/internal/instcombine"
 	"veriopt/internal/ir"
+	"veriopt/internal/oracle"
 	"veriopt/internal/pipeline"
 	"veriopt/internal/policy"
 )
@@ -127,6 +128,19 @@ type EvaluateResponse struct {
 	Canceled bool `json:"canceled,omitempty"`
 }
 
+// ceilSeconds converts a duration to whole seconds for Retry-After
+// headers, rounding up so a sub-second hint never renders as the
+// meaningless "Retry-After: 0". Both serving tiers use it — the worker
+// shedding at its own queue and the coordinator shedding at the
+// cluster front — so clients see consistent backoff hints regardless
+// of which tier refused them.
+func ceilSeconds(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return int((d + time.Second - 1) / time.Second)
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -174,7 +188,7 @@ func (s *Server) serveQueued(w http.ResponseWriter, r *http.Request, timeoutMs i
 	switch s.enqueue(j) {
 	case queueFull:
 		s.metrics.shed.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(s.cfg.RetryAfter)))
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "work queue full, retry later"})
 		return
 	case queueDraining:
@@ -355,7 +369,33 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// HealthzResponse is the /healthz JSON body: enough identity and load
+// state for a cluster coordinator's replica probes (and the cluster
+// smoke harness) to assert on more than a bare 200.
+type HealthzResponse struct {
+	OK      bool   `json:"ok"`
+	Version string `json:"version"`
+	// Role is "worker" for a plain serving process, "coordinator" for
+	// the cluster front.
+	Role string `json:"role"`
+	// QueueDepth/QueueCapacity report the bounded work queue's load.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	// StoreAttached reports whether a durable verdict store backs the
+	// oracle (-store-dir).
+	StoreAttached bool `json:"store_attached"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Write([]byte("ok\n"))
+	resp := HealthzResponse{
+		OK:            true,
+		Version:       Version,
+		Role:          s.cfg.Role,
+		QueueDepth:    s.QueueDepth(),
+		QueueCapacity: s.cfg.QueueSize,
+	}
+	if src, ok := s.oracle.(oracle.StoreSource); ok && src.VStore() != nil {
+		resp.StoreAttached = true
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

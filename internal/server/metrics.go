@@ -227,6 +227,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if s.cfg.ExtraMetrics != nil {
+		b.WriteString(s.cfg.ExtraMetrics(r.Context()))
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))
 }

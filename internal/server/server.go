@@ -9,7 +9,8 @@
 //	POST /v1/optimize  IR module → model output + verdict + cost-model
 //	                   metrics, with the paper's fallback rule
 //	POST /v1/evaluate  batched corpus slice → partial pipeline.Report
-//	GET  /healthz      liveness
+//	GET  /healthz      liveness + identity JSON (version, role, queue
+//	                   depth, store attachment)
 //	GET  /metrics      Prometheus text format
 //
 // Requests flow through one bounded work queue drained by a par.For
@@ -43,6 +44,10 @@ import (
 	"veriopt/internal/par"
 	"veriopt/internal/policy"
 )
+
+// Version identifies the serving build on /healthz. It tracks the PR
+// sequence growing this repo, not an external release scheme.
+const Version = "0.8.0"
 
 // Defaults for the zero Config.
 const (
@@ -105,6 +110,14 @@ type Config struct {
 	// EvalMaxN bounds /v1/evaluate corpus sizes (<= 0 selects
 	// DefaultEvalMaxN).
 	EvalMaxN int
+	// Role labels this process on /healthz: "worker" (the default) for
+	// a plain serving process, "coordinator" for the cluster front.
+	Role string
+	// ExtraMetrics, when non-nil, appends additional Prometheus
+	// exposition text to /metrics — the coordinator wires its
+	// replica-aware cluster section through here. The context bounds
+	// any scraping the callback performs.
+	ExtraMetrics func(ctx context.Context) string
 }
 
 // job is one queued unit of request work. run executes in a queue
@@ -168,6 +181,9 @@ func New(cfg Config) *Server {
 	}
 	if (cfg.Verify == alive.Options{}) {
 		cfg.Verify = alive.DefaultOptions()
+	}
+	if cfg.Role == "" {
+		cfg.Role = "worker"
 	}
 	s := &Server{
 		cfg:     cfg,

@@ -1,0 +1,46 @@
+package vcache
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"testing"
+
+	"veriopt/internal/alive"
+)
+
+// TestFingerprintIdentity pins the shared fingerprint's definition:
+// sha256 over the key's JSON encoding. vstore indexes under it and the
+// cluster coordinator hashes it onto the ring, so its bytes are a
+// cross-component (and, for vstore, cross-restart) contract.
+func TestFingerprintIdentity(t *testing.T) {
+	k := Key{Src: "define i32 @f()", Dst: "ret i32 0", Opts: alive.DefaultOptions()}
+	blob, err := json.Marshal(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sha256.Sum256(blob); k.Fingerprint() != want {
+		t.Fatal("Fingerprint diverged from sha256(json(key))")
+	}
+	if k.Fingerprint() != k.Fingerprint() {
+		t.Fatal("Fingerprint is not deterministic")
+	}
+}
+
+// TestFingerprintSeparatesKeys: any component of the key — source,
+// target, or the verification limits — must change the fingerprint.
+func TestFingerprintSeparatesKeys(t *testing.T) {
+	base := Key{Src: "s", Dst: "d", Opts: alive.DefaultOptions()}
+	vary := []Key{
+		{Src: "s2", Dst: "d", Opts: base.Opts},
+		{Src: "s", Dst: "d2", Opts: base.Opts},
+		{Src: "s", Dst: "d", Opts: alive.Options{MaxPaths: 1, MaxSteps: 1, SolverBudget: 1}},
+	}
+	seen := map[[sha256.Size]byte]bool{base.Fingerprint(): true}
+	for i, k := range vary {
+		fp := k.Fingerprint()
+		if seen[fp] {
+			t.Fatalf("variant %d collides with an earlier key", i)
+		}
+		seen[fp] = true
+	}
+}

@@ -32,6 +32,8 @@ package vcache
 import (
 	"container/list"
 	"context"
+	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
@@ -50,6 +52,25 @@ type Key struct {
 	Src, Dst string
 	// Opts are the verification limits the verdict was produced under.
 	Opts alive.Options
+}
+
+// Fingerprint condenses the key to the fixed-size form the storage
+// and serving spine shares: the verdict store's index (internal/vstore)
+// and the cluster coordinator's consistent-hash ring (internal/cluster)
+// both key on it. The full key (src and dst are whole function texts)
+// would make an index as large as the corpus; 32 bytes keeps millions
+// of verdicts indexable and gives the ring a uniform hash. Collisions
+// are handled by whoever stores values under it (vstore compares the
+// full key at read time; the ring only routes, so a collision merely
+// co-locates two queries).
+func (k Key) Fingerprint() [sha256.Size]byte {
+	blob, err := json.Marshal(k)
+	if err != nil {
+		// Key is strings and a flat struct of scalars; Marshal cannot
+		// fail on it.
+		panic("vcache: marshal key: " + err.Error())
+	}
+	return sha256.Sum256(blob)
 }
 
 // Backing is the durable tier under the in-memory cache, implemented

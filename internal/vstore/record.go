@@ -50,19 +50,12 @@ func (r record) key() vcache.Key {
 	return vcache.Key{Src: r.Src, Dst: r.Dst, Opts: r.Opts}
 }
 
-// fingerprint condenses a key to the fixed-size index form. The full
-// key (src and dst are whole function texts) would make the in-memory
-// index as large as the corpus; 32 bytes per entry keeps millions of
-// verdicts indexable. Collisions are handled at read time by comparing
-// the record's stored key.
+// fingerprint condenses a key to the fixed-size index form — the
+// shared vcache.Key.Fingerprint, so the store's index and the cluster
+// coordinator's hash ring agree on every key's identity. Collisions
+// are handled at read time by comparing the record's stored key.
 func fingerprint(k vcache.Key) [sha256.Size]byte {
-	blob, err := json.Marshal(k)
-	if err != nil {
-		// vcache.Key is strings and a flat struct of scalars; Marshal
-		// cannot fail on it.
-		panic("vstore: marshal key: " + err.Error())
-	}
-	return sha256.Sum256(blob)
+	return k.Fingerprint()
 }
 
 // encodeRecord renders rec in the on-disk layout.
