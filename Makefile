@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 lint serve-smoke resume-smoke store-smoke cluster-smoke bench bench-workers bench-solver bench-store bench-cluster
+.PHONY: all tier1 tier2 lint serve-smoke resume-smoke store-smoke cluster-smoke passes-smoke bench bench-workers bench-solver bench-store bench-cluster bench-passes
 
 all: tier1 tier2
 
@@ -16,7 +16,7 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: lint serve-smoke resume-smoke store-smoke cluster-smoke
+tier2: lint serve-smoke resume-smoke store-smoke cluster-smoke passes-smoke
 	$(GO) test -race ./...
 
 # Serving-layer acceptance gate: >=100 concurrent /v1/verify requests
@@ -48,6 +48,14 @@ store-smoke:
 cluster-smoke:
 	CLUSTER_SMOKE=1 BENCH_CLUSTER_OUT=$(CURDIR)/BENCH_cluster.json \
 	$(GO) test -run TestClusterSmoke -count=1 -v ./internal/cluster
+
+# Pass-ordering workload acceptance gate: tiny corpus, short sequence-
+# policy training run, beam baseline. Requires every emitted sequence
+# output to be oracle-verified Equivalent (independently re-proven),
+# zero fallbacks, and the beam baseline to strictly beat the fixed
+# instcombine pipeline on geomean latency.
+passes-smoke:
+	$(GO) test -run TestPassesSmoke -count=1 ./internal/pipeline
 
 # lint fails on any vet diagnostic or unformatted file.
 lint:
@@ -96,3 +104,11 @@ bench-store:
 # unhedged latency quantiles, written to BENCH_cluster.json (quoted in
 # EXPERIMENTS.md). Same harness as cluster-smoke.
 bench-cluster: cluster-smoke
+
+# Pass-ordering workload benchmark: the four-way geomean latency table
+# (fixed/greedy/beam/policy), the search's oracle traffic, and the
+# cold-vs-warm solver-run split (warm re-evaluation must perform zero
+# solver runs), written to BENCH_passes.json (quoted in EXPERIMENTS.md).
+bench-passes:
+	BENCH_PASSES_OUT=$(CURDIR)/BENCH_passes.json \
+	$(GO) test -run TestPassesBench -count=1 -v ./internal/pipeline

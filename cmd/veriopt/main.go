@@ -103,7 +103,9 @@ func usage() {
 subcommands:
   experiments  regenerate paper tables/figures (-run table1|...|all)
   train        run the four-stage curriculum and print stage summaries
-               (-save model.json persists the Model-Latency policy)
+               (-save model.json persists the Model-Latency policy);
+               -workload=passes trains the pass-sequence policy instead
+               and prints the policy/greedy/beam/fixed comparison table
   optimize     optimize a .ll file with a trained model + verifier fallback
   serve        HTTP/JSON verification service: /v1/verify, /v1/optimize,
                /v1/evaluate, /healthz, /metrics; bounded queue with 429
@@ -238,6 +240,11 @@ func cmdTrain(ctx context.Context, args []string) error {
 	storeDir := fs.String("store-dir", "",
 		"durable verdict store directory: verdicts append incrementally as they are proved (warm-starts reruns)")
 	cacheFile := fs.String("cache-file", "", "DEPRECATED (use -store-dir) verdict-cache snapshot: load at start, flush at exit")
+	workload := fs.String("workload", "peephole",
+		"training workload: 'peephole' (text rewriting curriculum) or 'passes' (pass-sequence phase ordering)")
+	seqSteps := fs.Int("seq-steps", 30, "passes workload: sequence-policy GRPO steps")
+	beamWidth := fs.Int("beam-width", 4, "passes workload: beam width of the search baseline")
+	beamDepth := fs.Int("beam-depth", 4, "passes workload: search depth bound (greedy and beam)")
 	n, seed, s1, s2, s3, workers, trace := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -262,6 +269,13 @@ func cmdTrain(ctx context.Context, args []string) error {
 		return err
 	}
 	defer flushCacheFile(stack, *cacheFile, rec)
+	switch *workload {
+	case "passes":
+		return trainPasses(ctx, c, rec, *save, *seqSteps, *beamWidth, *beamDepth)
+	case "peephole":
+	default:
+		return fmt.Errorf("unknown -workload %q (have peephole, passes)", *workload)
+	}
 	rec.Emit(obs.Event{Kind: "run_start", Note: "train"})
 
 	res, runErr := c.Pipeline()
@@ -319,6 +333,55 @@ func cmdTrain(ctx context.Context, args []string) error {
 	}
 	if last != nil {
 		fmt.Printf("instcombine reference speedup: %.2fx\n", pipeline.RefGeomeanSpeedup(last))
+	}
+	if runErr != nil {
+		rec.Emit(obs.Event{Kind: "interrupted", Note: runErr.Error()})
+		return runErr
+	}
+	rec.Emit(obs.Event{Kind: "run_end"})
+	return nil
+}
+
+// trainPasses drives the pass-sequence workload: train the sequence
+// policy on the training split, then print the four-way comparison
+// (fixed instcombine / greedy / beam / policy) on the validation
+// split. On SIGINT the partial result still saves and reports.
+func trainPasses(ctx context.Context, c *experiments.Context, rec *obs.Recorder, save string, steps, width, depth int) error {
+	rec.Emit(obs.Event{Kind: "run_start", Note: "train -workload=passes"})
+	train, err := c.Train()
+	if err != nil {
+		return err
+	}
+	val, err := c.Val()
+	if err != nil {
+		return err
+	}
+	cfg := pipeline.DefaultPassesConfig()
+	cfg.Seed = c.Cfg.Seed
+	cfg.Workers = c.Cfg.Workers
+	cfg.Oracle = c.Oracle
+	cfg.Obs = rec
+	cfg.TrainSteps = steps
+	cfg.BeamWidth = width
+	cfg.BeamDepth = depth
+	res, runErr := pipeline.RunPassesCtx(ctx, train, val, cfg)
+	if res == nil {
+		return runErr
+	}
+	if save != "" && res.Model != nil {
+		blob, err := json.MarshalIndent(res.Model, "", " ")
+		if err != nil {
+			return err
+		}
+		if err := ckpt.WriteFileAtomic(save, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("saved sequence policy to %s\n", save)
+	}
+	if res.Report != nil {
+		fmt.Print(res.Report.String())
+	} else {
+		fmt.Println("(evaluation not reached before interrupt)")
 	}
 	if runErr != nil {
 		rec.Emit(obs.Event{Kind: "interrupted", Note: runErr.Error()})
@@ -458,10 +521,11 @@ func cmdDataset(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	samples, err := dataset.Generate(dataset.Config{Seed: *seed, N: *n})
+	samples, genRep, err := dataset.GenerateReport(dataset.Config{Seed: *seed, N: *n})
 	if err != nil {
 		return err
 	}
+	fmt.Fprintln(os.Stderr, genRep)
 	if *out == "" {
 		for _, s := range samples {
 			fmt.Printf("; %s (template %s)\n%s\n", s.Name, s.Template, s.O0Text)

@@ -19,7 +19,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	train, val := dataset.Split(samples, 0.33, 9)
+	train, val, err := dataset.Split(samples, 0.33, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("corpus: %d train / %d validation (generated in %v)\n",
 		len(train), len(val), time.Since(t0).Round(time.Millisecond))
 

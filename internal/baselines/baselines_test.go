@@ -38,7 +38,10 @@ func TestSFTBaselineBeatsUntrained(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	train, val := dataset.Split(samples, 0.33, 2)
+	train, val, err := dataset.Split(samples, 0.33, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	vo := pipeline.EvalOptions()
 	base := policy.New(policy.CapQwen3B, 9)
 	baseRep := pipeline.Evaluate(base, val, false, vo)
@@ -80,7 +83,10 @@ func TestScaleImprovesQuality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	train, val := dataset.Split(samples, 0.4, 2)
+	train, val, err := dataset.Split(samples, 0.4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	vo := pipeline.EvalOptions()
 	small := SFT(policy.CapQwen05B, 0.5, train, 7)
 	big := SFT(policy.CapQwen32B, 32, train, 7)

@@ -76,15 +76,28 @@ func encodedBytes(in *ir.Instr) int {
 	case ir.OpRet:
 		return 4
 	}
-	// Immediates beyond 12 bits need a materializing mov.
+	// Immediates beyond the 12-bit encodable range each need their own
+	// materializing mov: an instruction with two out-of-range constant
+	// operands lowers to mov+mov+op, not mov+op.
+	n := 4
 	for _, a := range in.Args {
-		if c, ok := a.(*ir.Const); ok {
-			if v := c.Signed(); v > 4095 || v < -4096 {
-				return 8
-			}
+		if c, ok := a.(*ir.Const); ok && !fitsImm12(c.Signed()) {
+			n += 4
 		}
 	}
-	return 4
+	return n
+}
+
+// fitsImm12 reports whether v encodes directly as an AArch64
+// add/sub-class immediate: a 12-bit unsigned value, with negative
+// constants folding into the opposite opcode (add x, -5 → sub x, 5).
+// The range is therefore symmetric at ±4095 — ±4096 already needs a
+// materializing mov (the old v < -4096 check wrongly admitted -4096).
+func fitsImm12(v int64) bool {
+	if v < 0 {
+		v = -v // MinInt64 stays negative and correctly fails the test
+	}
+	return v >= 0 && v <= 4095
 }
 
 // BinarySize estimates the on-disk object size contribution of the

@@ -92,6 +92,36 @@ func TestBigImmediateCostsExtraBytes(t *testing.T) {
 	}
 }
 
+// TestEncodedBytesImmediates pins the per-operand materialization
+// accounting: every out-of-range constant operand costs its own mov,
+// and the encodable range is the symmetric ±4095 implied by AArch64's
+// 12-bit unsigned add/sub immediates (negative constants fold into
+// the opposite opcode).
+func TestEncodedBytesImmediates(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want int // BinarySize minus the 8-byte prologue/epilogue
+	}{
+		{"small-imm", "%2 = add i32 %0, 100", 4 + 4},
+		{"max-imm", "%2 = add i32 %0, 4095", 4 + 4},
+		{"min-imm", "%2 = add i32 %0, -4095", 4 + 4},
+		{"just-over", "%2 = add i32 %0, 4096", 8 + 4},
+		{"just-under", "%2 = add i32 %0, -4096", 8 + 4},
+		{"big-imm", "%2 = add i32 %0, 1000000", 8 + 4},
+		{"two-big-imms", "%2 = mul i32 70000, 81000", 12 + 4},
+		{"big-and-small", "%2 = shl i32 70000, 3", 8 + 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := parse(t, "define i32 @f(i32 noundef %0) {\n  "+tc.body+"\n  ret i32 %2\n}\n")
+			if got := BinarySize(f) - 8; got != tc.want {
+				t.Errorf("%s: encoded bytes = %d, want %d", tc.body, got, tc.want)
+			}
+		})
+	}
+}
+
 func TestSpeedupClamps(t *testing.T) {
 	a := Metrics{Latency: 10}
 	b := Metrics{Latency: 0}

@@ -38,40 +38,102 @@ type Config struct {
 	VerifyOptions alive.Options
 }
 
+// TemplateStat is one template's generation accounting.
+type TemplateStat struct {
+	Name string
+	// Kept counts instances that survived the verify/context filter.
+	Kept int
+	// Rejected counts instances the filter excluded.
+	Rejected int
+}
+
+// GenReport summarizes a corpus generation run: total attempts and
+// the per-template kept/rejected split, in registry order.
+type GenReport struct {
+	Attempts  int
+	Templates []TemplateStat
+}
+
+// String renders the report for logs and the dataset CLI.
+func (r *GenReport) String() string {
+	kept := 0
+	for _, ts := range r.Templates {
+		kept += ts.Kept
+	}
+	out := fmt.Sprintf("generated %d samples in %d attempts", kept, r.Attempts)
+	for _, ts := range r.Templates {
+		out += fmt.Sprintf("\n  %-15s kept %3d, rejected %3d", ts.Name, ts.Kept, ts.Rejected)
+	}
+	return out
+}
+
 // Generate builds a filtered corpus of N samples, mirroring §IV-A:
 // lower each synthesized program to -O0 form, label with instcombine,
 // keep only pairs the verifier proves equivalent and that fit the
 // 2048-token context window.
 func Generate(cfg Config) ([]*Sample, error) {
+	out, _, err := GenerateReport(cfg)
+	return out, err
+}
+
+// GenerateReport is Generate plus the per-template accounting.
+//
+// Templates are scheduled round-robin on *kept* samples: the next
+// instance comes from the template with the fewest kept samples so
+// far (registry order breaks ties). The old scheme advanced a single
+// global counter on every attempt, so a template with a high filter
+// rejection rate silently ceded its corpus share to its neighbours;
+// now a rejection makes the template retry until it lands a keeper or
+// the global attempt cap trips. The schedule depends only on the seed
+// and the filter verdicts, so generation stays deterministic.
+func GenerateReport(cfg Config) ([]*Sample, *GenReport, error) {
 	if cfg.N <= 0 {
-		return nil, fmt.Errorf("dataset: N must be positive")
+		return nil, nil, fmt.Errorf("dataset: N must be positive")
 	}
 	if cfg.VerifyOptions.MaxPaths == 0 {
 		cfg.VerifyOptions = alive.DefaultOptions()
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	tmpls := Templates()
+	rep := &GenReport{Templates: make([]TemplateStat, len(tmpls))}
+	for i, tm := range tmpls {
+		rep.Templates[i].Name = tm.Name
+	}
 	var out []*Sample
-	id := 0
-	attempts := 0
+	id := 0 // global instance counter: keeps generated names unique
 	for len(out) < cfg.N {
-		attempts++
-		if attempts > cfg.N*20 {
-			return nil, fmt.Errorf("dataset: filter rejected too many samples (%d kept of %d attempts)", len(out), attempts)
+		rep.Attempts++
+		if rep.Attempts > cfg.N*20 {
+			return nil, rep, fmt.Errorf("dataset: filter rejected too many samples (%d kept of %d attempts)", len(out), rep.Attempts)
 		}
-		tm := tmpls[id%len(tmpls)]
-		prog := tm.Gen(rng, id)
+		ti := nextTemplate(rep.Templates)
+		prog := tmpls[ti].Gen(rng, id)
 		id++
-		s, err := build(prog, tm.Name, cfg)
+		s, err := build(prog, tmpls[ti].Name, cfg)
 		if err != nil {
-			return nil, err
+			return nil, rep, err
 		}
 		if s == nil {
+			rep.Templates[ti].Rejected++
 			continue // filtered
 		}
+		rep.Templates[ti].Kept++
 		out = append(out, s)
 	}
-	return out, nil
+	return out, rep, nil
+}
+
+// nextTemplate picks the template with the fewest kept samples,
+// breaking ties toward registry order — balanced representation in
+// the kept corpus regardless of per-template rejection rates.
+func nextTemplate(stats []TemplateStat) int {
+	best := 0
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Kept < stats[best].Kept {
+			best = i
+		}
+	}
+	return best
 }
 
 func build(prog *program, tmpl string, cfg Config) (*Sample, error) {
@@ -110,9 +172,29 @@ func build(prog *program, tmpl string, cfg Config) (*Sample, error) {
 // given validation fraction, deterministically by seed. The split is
 // disjoint (no leakage), mirroring the paper's isolated validation
 // set.
-func Split(samples []*Sample, valFrac float64, seed int64) (train, val []*Sample) {
+//
+// The validation size rounds half-up and is at least 1 whenever
+// valFrac > 0 and there are at least two samples — the old truncating
+// int(n*valFrac) silently produced an empty validation set for small
+// corpora (n=5, valFrac=0.15 → 0), and every downstream fraction over
+// it was vacuously zero. The training side always keeps at least one
+// sample. valFrac outside [0, 1) is an error rather than a silent
+// degenerate split.
+func Split(samples []*Sample, valFrac float64, seed int64) (train, val []*Sample, err error) {
+	if valFrac < 0 || valFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: valFrac %v out of range [0, 1)", valFrac)
+	}
 	idx := rand.New(rand.NewSource(seed)).Perm(len(samples))
-	nVal := int(float64(len(samples)) * valFrac)
+	nVal := int(float64(len(samples))*valFrac + 0.5)
+	if valFrac > 0 && nVal == 0 && len(samples) > 1 {
+		nVal = 1
+	}
+	if nVal > len(samples)-1 {
+		nVal = len(samples) - 1 // train keeps at least one sample
+	}
+	if nVal < 0 {
+		nVal = 0
+	}
 	for i, j := range idx {
 		if i < nVal {
 			val = append(val, samples[j])
@@ -120,5 +202,5 @@ func Split(samples []*Sample, valFrac float64, seed int64) (train, val []*Sample
 			train = append(train, samples[j])
 		}
 	}
-	return train, val
+	return train, val, nil
 }

@@ -105,7 +105,10 @@ func TestSplitDisjointAndComplete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	train, val := Split(samples, 0.25, 99)
+	train, val, err := Split(samples, 0.25, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(train)+len(val) != len(samples) {
 		t.Fatalf("split sizes %d+%d != %d", len(train), len(val), len(samples))
 	}
@@ -119,6 +122,124 @@ func TestSplitDisjointAndComplete(t *testing.T) {
 	for _, s := range val {
 		if seen[s] {
 			t.Fatal("leakage: sample in both splits")
+		}
+	}
+}
+
+// TestSplitSmallCorpus pins the rounding fix: a nonzero valFrac on a
+// small corpus must yield a non-empty validation set (the truncating
+// int(n*valFrac) silently produced zero), train always keeps at least
+// one sample, and out-of-range fractions error.
+func TestSplitSmallCorpus(t *testing.T) {
+	samples, err := Generate(Config{Seed: 3, N: 5, SkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		n       int
+		valFrac float64
+		wantVal int
+	}{
+		{5, 0.15, 1}, // truncation gave 0
+		{5, 0.5, 2},  // 2.5 rounds half-up to 3, but pinned below
+		{5, 0, 0},
+		{1, 0.5, 0}, // single sample: train keeps it
+		{4, 0.25, 1},
+	}
+	for _, tc := range cases {
+		tr, val, err := Split(samples[:tc.n], tc.valFrac, 7)
+		if err != nil {
+			t.Fatalf("Split(n=%d, frac=%v): %v", tc.n, tc.valFrac, err)
+		}
+		if tc.n == 5 && tc.valFrac == 0.5 {
+			tc.wantVal = 3 // 2.5 rounds half-up
+		}
+		if len(val) != tc.wantVal {
+			t.Errorf("Split(n=%d, frac=%v): val size %d, want %d", tc.n, tc.valFrac, len(val), tc.wantVal)
+		}
+		if len(tr)+len(val) != tc.n {
+			t.Errorf("Split(n=%d, frac=%v): %d+%d != %d", tc.n, tc.valFrac, len(tr), len(val), tc.n)
+		}
+		if tc.n > 0 && len(tr) == 0 {
+			t.Errorf("Split(n=%d, frac=%v): empty train set", tc.n, tc.valFrac)
+		}
+	}
+	for _, bad := range []float64{-0.1, 1, 1.5} {
+		if _, _, err := Split(samples, bad, 7); err == nil {
+			t.Errorf("Split(frac=%v): want error", bad)
+		}
+	}
+}
+
+// TestGenerateBalancedTemplates pins the corpus-accounting fix: kept
+// samples are spread evenly across templates (max-min spread <= 1)
+// even though the scheduler retries rejected templates, and the
+// report's counts agree with the returned corpus.
+func TestGenerateBalancedTemplates(t *testing.T) {
+	n := 50 // not a multiple of the template count
+	samples, rep, err := GenerateReport(Config{Seed: 13, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != n {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	byName := map[string]int{}
+	for _, s := range samples {
+		byName[s.Template]++
+	}
+	minK, maxK, keptSum := n, 0, 0
+	for _, ts := range rep.Templates {
+		if ts.Kept != byName[ts.Name] {
+			t.Errorf("template %s: report kept %d, corpus has %d", ts.Name, ts.Kept, byName[ts.Name])
+		}
+		keptSum += ts.Kept
+		if ts.Kept < minK {
+			minK = ts.Kept
+		}
+		if ts.Kept > maxK {
+			maxK = ts.Kept
+		}
+	}
+	if keptSum != n {
+		t.Errorf("report kept total %d != %d", keptSum, n)
+	}
+	if maxK-minK > 1 {
+		t.Errorf("kept counts skewed: min %d, max %d", minK, maxK)
+	}
+	if rep.Attempts < n {
+		t.Errorf("attempts %d < kept %d", rep.Attempts, n)
+	}
+}
+
+// TestGenerateRetriesRejectedTemplate drives the scheduler with a
+// filter that rejects one template's instances a few times: the
+// rejected template must still reach its even share of the kept
+// corpus (the old global-counter rotation silently under-represented
+// it), and the rejections must be attributed to it in the report.
+func TestGenerateRetriesRejectedTemplate(t *testing.T) {
+	// A tiny context window rejects the biggest templates; generation
+	// must rebalance onto retries rather than skewing the kept corpus.
+	samples, rep, err := GenerateReport(Config{Seed: 2, N: 46})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = samples
+	rejected := 0
+	for _, ts := range rep.Templates {
+		rejected += ts.Rejected
+	}
+	if rep.Attempts != 46+rejected {
+		t.Errorf("attempts %d != kept 46 + rejected %d", rep.Attempts, rejected)
+	}
+	// Determinism: the same seed reproduces the same report.
+	_, rep2, err := GenerateReport(Config{Seed: 2, N: 46})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Templates {
+		if rep.Templates[i] != rep2.Templates[i] {
+			t.Errorf("report not deterministic: %+v vs %+v", rep.Templates[i], rep2.Templates[i])
 		}
 	}
 }

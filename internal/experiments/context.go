@@ -98,7 +98,11 @@ func (c *Context) Corpus() ([]*dataset.Sample, error) {
 			return nil, err
 		}
 		c.samples = s
-		c.train, c.val = dataset.Split(s, c.Cfg.ValFrac, c.Cfg.Seed+1000)
+		c.train, c.val, err = dataset.Split(s, c.Cfg.ValFrac, c.Cfg.Seed+1000)
+		if err != nil {
+			c.samples = nil
+			return nil, err
+		}
 	}
 	return c.samples, nil
 }

@@ -24,6 +24,7 @@ var registry = []runner{
 	{"fig8_12", "Figures 8-12: qualitative examples", Fig8to12},
 	{"ablation_grpo", "Ablation: GRPO design choices", AblationGRPO},
 	{"ablation_verifier", "Ablation: verifier placement", AblationVerifier},
+	{"passes", "Pass-ordering workload: policy vs search vs fixed pipeline", Passes},
 }
 
 // IDs lists the registered experiment identifiers in run order.

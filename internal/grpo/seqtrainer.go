@@ -1,0 +1,287 @@
+package grpo
+
+import (
+	"context"
+	"math"
+	"math/rand"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/costmodel"
+	"veriopt/internal/dataset"
+	"veriopt/internal/oracle"
+	"veriopt/internal/par"
+	"veriopt/internal/seqopt"
+)
+
+// SeqConfig parameterizes GRPO over pass sequences (the phase-ordering
+// workload). It mirrors Config, minus the text-workload concerns
+// (reward modes, diagnosis, BLEU shaping): a sequence episode has
+// exactly one reward, the verified latency gain of its final state.
+type SeqConfig struct {
+	// GroupSize is G, rollouts per input (relative advantages).
+	GroupSize int
+	// BatchInputs is the number of inputs per optimization step.
+	BatchInputs int
+	// LR is the gradient-ascent learning rate.
+	LR float64
+	// ClipNorm bounds the global gradient norm.
+	ClipNorm float64
+	// Temperature for rollout sampling.
+	Temperature float64
+	// Latency holds the Eq. 3–4 shaping parameters.
+	Latency LatencyRewardParams
+	// Verify bounds each verification query during training.
+	Verify alive.Options
+	// Workers bounds the rollout + verification fan-out (<= 0 selects
+	// runtime.NumCPU()). Results are bit-identical at any worker count.
+	Workers int
+}
+
+// DefaultSeqConfig returns the settings used by the passes workload's
+// training runs. The LR is higher than the text trainer's because a
+// sequence episode has far fewer decisions per gradient step.
+func DefaultSeqConfig() SeqConfig {
+	return SeqConfig{
+		GroupSize:   6,
+		BatchInputs: 8,
+		LR:          40,
+		ClipNorm:    5,
+		Temperature: 1.0,
+		Verify:      alive.Options{MaxPaths: 256, MaxSteps: 2048, SolverBudget: 40000},
+	}
+}
+
+// SeqStepStats summarizes one sequence-trainer step.
+type SeqStepStats struct {
+	// MeanReward is the mean verified-latency reward across the grid.
+	MeanReward float64
+	// VerifiedFrac is the fraction of episodes whose final state the
+	// oracle proved equivalent (empty sequences count: the input
+	// trivially refines itself).
+	VerifiedFrac float64
+	// ImprovedFrac is the fraction of episodes with a verified strict
+	// latency win.
+	ImprovedFrac float64
+	// MeanLen is the mean applied-sequence length.
+	MeanLen  float64
+	GradNorm float64
+	Episodes int
+}
+
+// SeqTrainer runs GRPO over a sequence policy and corpus. The reward
+// is gated by the oracle exactly as in the text workload: an episode
+// whose final state is not proven equivalent to its input earns zero,
+// whatever the cost model claims.
+type SeqTrainer struct {
+	Model *seqopt.Model
+	Cfg   SeqConfig
+	Data  []*dataset.Sample
+
+	// Oracle answers the verification queries; nil selects the shared
+	// default stack (oracle.Default).
+	Oracle oracle.Oracle
+
+	// RewardHistory records the mean reward per step.
+	RewardHistory []float64
+
+	passes []*seqopt.Pass
+	seed   int64
+	cursor int
+}
+
+// NewSeqTrainer wires a sequence trainer. As with NewTrainer, the
+// training trajectory depends only on (model, data, cfg, seed) —
+// never on Cfg.Workers.
+func NewSeqTrainer(m *seqopt.Model, data []*dataset.Sample, cfg SeqConfig, seed int64) *SeqTrainer {
+	return &SeqTrainer{Model: m, Cfg: cfg, Data: data, passes: seqopt.Registry(), seed: seed}
+}
+
+// seqScore pairs an episode with its reward.
+type seqScore struct {
+	ep       *seqopt.Episode
+	r        float64
+	verified bool
+	improved bool
+}
+
+// seqGrads accumulates B and S gradients (N stays frozen, matching
+// the text policy's update rule).
+type seqGrads struct{ b, s []float64 }
+
+// Step performs one GRPO update; see StepCtx.
+func (tr *SeqTrainer) Step() SeqStepStats {
+	stats, _ := tr.StepCtx(context.Background())
+	return stats
+}
+
+// StepCtx performs one GRPO update over a BatchInputs × GroupSize
+// grid of sequence rollouts. Cancellation semantics match
+// Trainer.StepCtx: the partial grid is discarded, no update is
+// applied, and the cursor rewinds so a resumed run replays the batch.
+func (tr *SeqTrainer) StepCtx(ctx context.Context) (SeqStepStats, error) {
+	m := tr.Model
+	cfg := tr.Cfg
+
+	var stats SeqStepStats
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
+	if len(tr.Data) == 0 || cfg.BatchInputs <= 0 || cfg.GroupSize <= 0 {
+		tr.RewardHistory = append(tr.RewardHistory, 0)
+		return stats, nil
+	}
+	o := oracle.OrDefault(tr.Oracle)
+
+	base := tr.cursor
+	tr.cursor += cfg.BatchInputs
+	sampleAt := make([]*dataset.Sample, cfg.BatchInputs)
+	for bi := range sampleAt {
+		sampleAt[bi] = tr.Data[(base+bi)%len(tr.Data)]
+	}
+
+	// Roll out and verify the grid in parallel: per-episode RNGs from
+	// the same episodeSeed mix as the text trainer, per-slot writes.
+	grid := make([]seqScore, cfg.BatchInputs*cfg.GroupSize)
+	err := par.For(ctx, cfg.Workers, len(grid), func(i int) {
+		bi, gi := i/cfg.GroupSize, i%cfg.GroupSize
+		s := sampleAt[bi]
+		rng := rand.New(rand.NewSource(episodeSeed(tr.seed, base+bi, gi)))
+		ep := m.Generate(s.O0, seqopt.GenOptions{
+			Temperature: cfg.Temperature,
+			Rng:         rng,
+			Passes:      tr.passes,
+		})
+		es := seqScore{ep: ep}
+		if len(ep.Sequence) == 0 {
+			// No transformation: trivially equivalent, zero gain.
+			es.verified = true
+		} else {
+			vr := o.Verify(ctx, s.O0, ep.FinalFn, cfg.Verify)
+			if vr.Verdict == alive.Equivalent {
+				es.verified = true
+				u := costmodel.Speedup(costmodel.Measure(s.O0), costmodel.Measure(ep.FinalFn))
+				es.improved = u > 1
+				// Reuse the Eq. 3–4 latency shaping via a synthetic
+				// judgment: verified final state with speedup u.
+				es.r = LatencyReward(&Judgment{FinalVerdict: vr, Speedup: u}, cfg.Latency)
+			}
+		}
+		grid[i] = es
+	})
+	if err != nil {
+		tr.cursor = base
+		return SeqStepStats{}, err
+	}
+
+	// Sequential, grid-ordered: advantages and gradient accumulation.
+	g := &seqGrads{b: make([]float64, m.NumActions()), s: make([]float64, m.NumActions())}
+	totalTokens := 0
+	for _, es := range grid {
+		totalTokens += seqTokensOf(es.ep)
+	}
+	for bi := 0; bi < cfg.BatchInputs; bi++ {
+		group := grid[bi*cfg.GroupSize : (bi+1)*cfg.GroupSize]
+		mean, std := 0.0, 0.0
+		for _, es := range group {
+			mean += es.r
+		}
+		mean /= float64(len(group))
+		for _, es := range group {
+			d := es.r - mean
+			std += d * d
+		}
+		std = math.Sqrt(std / float64(len(group)))
+		for _, es := range group {
+			adv := (es.r - mean) / (std + 1e-6)
+			if totalTokens > 0 {
+				tr.accumulateSeq(g, es.ep, adv/float64(totalTokens))
+			}
+			stats.MeanReward += es.r
+			stats.MeanLen += float64(len(es.ep.Sequence))
+			if es.verified {
+				stats.VerifiedFrac++
+			}
+			if es.improved {
+				stats.ImprovedFrac++
+			}
+		}
+	}
+	stats.Episodes = len(grid)
+	if stats.Episodes > 0 {
+		stats.MeanReward /= float64(stats.Episodes)
+		stats.MeanLen /= float64(stats.Episodes)
+		stats.VerifiedFrac /= float64(stats.Episodes)
+		stats.ImprovedFrac /= float64(stats.Episodes)
+	}
+	tr.RewardHistory = append(tr.RewardHistory, stats.MeanReward)
+	stats.GradNorm = tr.applySeq(g)
+	return stats, nil
+}
+
+// accumulateSeq adds ∇ log π(sequence) · advantage into g.
+func (tr *SeqTrainer) accumulateSeq(g *seqGrads, ep *seqopt.Episode, adv float64) {
+	m := tr.Model
+	temp := tr.Cfg.Temperature
+	if temp <= 0 {
+		temp = 1
+	}
+	for _, rec := range ep.Actions {
+		probs := m.Softmax(rec.Cands, rec.StepFrac, ep.H, temp)
+		for i, a := range rec.Cands {
+			ind := 0.0
+			if a == rec.Chosen {
+				ind = 1
+			}
+			coeff := (ind - probs[i]) * adv
+			g.b[a] += coeff
+			g.s[a] += coeff * rec.StepFrac
+		}
+	}
+}
+
+// applySeq performs the clipped update, returning the pre-clip norm.
+func (tr *SeqTrainer) applySeq(g *seqGrads) float64 {
+	m := tr.Model
+	norm := 0.0
+	for a := range g.b {
+		norm += g.b[a]*g.b[a] + g.s[a]*g.s[a]
+	}
+	norm = math.Sqrt(norm)
+	scale := tr.Cfg.LR
+	if tr.Cfg.ClipNorm > 0 && norm > tr.Cfg.ClipNorm {
+		scale *= tr.Cfg.ClipNorm / norm
+	}
+	for a := range g.b {
+		m.B[a] += scale * g.b[a]
+		m.S[a] += scale * g.s[a]
+	}
+	m.Clamp()
+	return norm
+}
+
+func seqTokensOf(ep *seqopt.Episode) int {
+	if len(ep.Actions) == 0 {
+		return 1
+	}
+	return len(ep.Actions)
+}
+
+// Train runs n steps, returning the per-step stats.
+func (tr *SeqTrainer) Train(n int) []SeqStepStats {
+	out, _ := tr.TrainCtx(context.Background(), n)
+	return out
+}
+
+// TrainCtx runs up to n steps under ctx; cancellation semantics match
+// Trainer.TrainCtx.
+func (tr *SeqTrainer) TrainCtx(ctx context.Context, n int) ([]SeqStepStats, error) {
+	out := make([]SeqStepStats, 0, n)
+	for i := 0; i < n; i++ {
+		st, err := tr.StepCtx(ctx)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

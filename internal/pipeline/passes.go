@@ -1,0 +1,292 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/costmodel"
+	"veriopt/internal/dataset"
+	"veriopt/internal/grpo"
+	"veriopt/internal/instcombine"
+	"veriopt/internal/ir"
+	"veriopt/internal/obs"
+	"veriopt/internal/oracle"
+	"veriopt/internal/par"
+	"veriopt/internal/seqopt"
+)
+
+// PassesConfig sizes the pass-sequence workload: one GRPO stage over
+// sequence rollouts, then a four-way evaluation (fixed instcombine /
+// greedy / beam / policy) on the validation split.
+type PassesConfig struct {
+	Seed int64
+	// TrainSteps is the number of SeqTrainer GRPO steps.
+	TrainSteps int
+	// Seq parameterizes the trainer; the zero value selects
+	// grpo.DefaultSeqConfig(). Its Latency params are overwritten from
+	// the training split's UMax percentile, matching the curriculum.
+	Seq grpo.SeqConfig
+	// BeamWidth and BeamDepth size the beam baseline (<= 0 selects the
+	// seqopt defaults). Greedy shares BeamDepth.
+	BeamWidth, BeamDepth int
+	// UMaxPercentile sets the latency-reward saturation (paper: 80).
+	UMaxPercentile float64
+	// Verify bounds each evaluation-time verification query; the zero
+	// value selects alive.DefaultOptions().
+	Verify alive.Options
+	// Workers bounds the evaluation fan-out (<= 0 selects
+	// runtime.NumCPU()); results are worker-count independent.
+	Workers int
+	// Oracle answers all verification queries; nil selects the shared
+	// default stack. Search memoization lives in its verdict cache.
+	Oracle oracle.Oracle
+	// Obs, when non-nil, receives stage trace events.
+	Obs *obs.Recorder
+}
+
+// DefaultPassesConfig returns the reduced-scale defaults.
+func DefaultPassesConfig() PassesConfig {
+	return PassesConfig{
+		Seed:           1,
+		TrainSteps:     30,
+		Seq:            grpo.DefaultSeqConfig(),
+		UMaxPercentile: 80,
+	}
+}
+
+// Method names of the evaluation rows, in report order.
+const (
+	MethodFixed  = "fixed-instcombine"
+	MethodGreedy = "greedy"
+	MethodBeam   = "beam"
+	MethodPolicy = "policy"
+)
+
+// PassesOutput is one method's accepted output on one sample.
+type PassesOutput struct {
+	Method string
+	// Sequence is the applied pass list (empty = output is the input).
+	Sequence []string
+	// Fn is the accepted output function. Acceptance is verifier-gated:
+	// Fn differs from the sample's O0 only when the oracle proved
+	// equivalence. On a rejected output Fn is the O0 function itself
+	// and Fallback is set.
+	Fn *ir.Function
+	// Verified reports the oracle proved Fn equivalent to the input
+	// (identity outputs are trivially verified).
+	Verified bool
+	// Fallback reports the method's raw output was rejected and the
+	// O0 metrics were substituted.
+	Fallback bool
+	Metrics  costmodel.Metrics
+}
+
+// PassesDetail is the per-sample evaluation record.
+type PassesDetail struct {
+	Sample  *dataset.Sample
+	Base    costmodel.Metrics
+	Outputs []PassesOutput // one per method, in report order
+}
+
+// PassesRow aggregates one method over the evaluation split.
+type PassesRow struct {
+	Method string
+	// Geomean out/base ratios per metric (< 1 is better than -O0).
+	GeoLatency, GeoICount, GeoSize float64
+	// Verified counts oracle-proven outputs, Improved strict latency
+	// wins, Fallbacks rejected outputs.
+	Verified, Improved, Fallbacks int
+	MeanSeqLen                    float64
+}
+
+// PassesReport is the four-way comparison table.
+type PassesReport struct {
+	Rows    []PassesRow
+	Details []*PassesDetail
+}
+
+// Samples is the evaluation-split size.
+func (r *PassesReport) Samples() int { return len(r.Details) }
+
+// Row returns the aggregate for a method name, or nil.
+func (r *PassesReport) Row(method string) *PassesRow {
+	for i := range r.Rows {
+		if r.Rows[i].Method == method {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// String renders the pass-ordering table.
+func (r *PassesReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Pass-ordering evaluation (n=%d; geomean out/O0 ratios, lower is better)\n", r.Samples())
+	fmt.Fprintf(&sb, "%-18s %9s %9s %9s %9s %9s %6s %7s\n",
+		"Method", "Latency", "ICount", "Size", "Verified", "Improved", "Fall", "SeqLen")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-18s %9.4f %9.4f %9.4f %9d %9d %6d %7.2f\n",
+			row.Method, row.GeoLatency, row.GeoICount, row.GeoSize,
+			row.Verified, row.Improved, row.Fallbacks, row.MeanSeqLen)
+	}
+	return sb.String()
+}
+
+// PassesResult bundles the trained sequence policy, its training
+// trace, and the evaluation report.
+type PassesResult struct {
+	Model   *seqopt.Model
+	History []float64
+	Report  *PassesReport
+}
+
+// RunPasses is RunPassesCtx under a background context.
+func RunPasses(train, val []*dataset.Sample, cfg PassesConfig) (*PassesResult, error) {
+	return RunPassesCtx(context.Background(), train, val, cfg)
+}
+
+// RunPassesCtx trains the sequence policy on the training split and
+// evaluates the four methods on the validation split. Cancellation
+// follows the curriculum's convention: the interrupted phase aborts
+// promptly and the partial result is returned with the context's
+// error (Report nil when evaluation never completed).
+func RunPassesCtx(ctx context.Context, train, val []*dataset.Sample, cfg PassesConfig) (*PassesResult, error) {
+	if cfg.Seq == (grpo.SeqConfig{}) {
+		cfg.Seq = grpo.DefaultSeqConfig()
+	}
+	cfg.Seq.Workers = cfg.Workers
+	if cfg.UMaxPercentile <= 0 {
+		cfg.UMaxPercentile = 80
+	}
+	cfg.Seq.Latency = grpo.LatencyRewardParams{UMax: grpo.ComputeUMax(train, cfg.UMaxPercentile), Gamma: 2}
+	o := oracle.OrDefault(cfg.Oracle)
+
+	res := &PassesResult{Model: seqopt.NewModel(cfg.Seed)}
+	sp := beginStage(cfg.Obs, o, "seq-train")
+	tr := grpo.NewSeqTrainer(res.Model, train, cfg.Seq, cfg.Seed+404)
+	tr.Oracle = o
+	_, err := tr.TrainCtx(ctx, cfg.TrainSteps)
+	res.History = tr.RewardHistory
+	if err != nil {
+		sp.end(len(tr.RewardHistory), tr.RewardHistory, "canceled")
+		return res, err
+	}
+	sp.end(cfg.TrainSteps, tr.RewardHistory, "")
+
+	sp = beginStage(cfg.Obs, o, "passes-eval")
+	rep, err := EvaluatePassesCtx(ctx, res.Model, val, cfg)
+	res.Report = rep
+	if err != nil {
+		sp.end(0, nil, "canceled")
+		return res, err
+	}
+	sp.end(len(val), nil, "")
+	return res, nil
+}
+
+// EvaluatePassesCtx runs the four-way comparison on samples. Every
+// non-identity output is verifier-gated: a method's transformed
+// function is accepted only with an Equivalent verdict, otherwise the
+// O0 metrics are substituted (the fallback rule of the text
+// workload). m may be nil to skip the policy row.
+func EvaluatePassesCtx(ctx context.Context, m *seqopt.Model, samples []*dataset.Sample, cfg PassesConfig) (*PassesReport, error) {
+	if cfg.Verify == (alive.Options{}) {
+		cfg.Verify = alive.DefaultOptions()
+	}
+	o := oracle.OrDefault(cfg.Oracle)
+	passes := seqopt.Registry()
+	scfg := seqopt.SearchConfig{Width: cfg.BeamWidth, Depth: cfg.BeamDepth, Verify: cfg.Verify, Oracle: o, Passes: passes}
+
+	details := make([]*PassesDetail, len(samples))
+	err := par.For(ctx, cfg.Workers, len(samples), func(i int) {
+		s := samples[i]
+		d := &PassesDetail{Sample: s, Base: costmodel.Measure(s.O0)}
+
+		// Gate any candidate output through the oracle; fall back to O0
+		// on anything short of a proof.
+		accept := func(method string, seq []string, fn *ir.Function) PassesOutput {
+			out := PassesOutput{Method: method, Sequence: seq, Fn: fn}
+			if fn == s.O0 || len(seq) == 0 {
+				out.Fn = s.O0
+				out.Sequence = nil
+				out.Verified = true
+				out.Metrics = d.Base
+				return out
+			}
+			vr := o.Verify(ctx, s.O0, fn, cfg.Verify)
+			if vr.Verdict == alive.Equivalent {
+				out.Verified = true
+				out.Metrics = costmodel.Measure(fn)
+				return out
+			}
+			out.Fn = s.O0
+			out.Sequence = nil
+			out.Fallback = true
+			out.Metrics = d.Base
+			return out
+		}
+
+		d.Outputs = append(d.Outputs, accept(MethodFixed, []string{"instcombine"}, instcombine.Run(s.O0)))
+		if gr, err := seqopt.Greedy(ctx, s.O0, scfg); err == nil {
+			d.Outputs = append(d.Outputs, accept(MethodGreedy, gr.Sequence, gr.Fn))
+		}
+		if br, err := seqopt.Beam(ctx, s.O0, scfg); err == nil {
+			d.Outputs = append(d.Outputs, accept(MethodBeam, br.Sequence, br.Fn))
+		}
+		if m != nil {
+			ep := m.Generate(s.O0, seqopt.GenOptions{Passes: passes}) // greedy decode
+			d.Outputs = append(d.Outputs, accept(MethodPolicy, ep.Sequence, ep.FinalFn))
+		}
+		details[i] = d
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &PassesReport{Details: details}
+	methods := []string{MethodFixed, MethodGreedy, MethodBeam}
+	if m != nil {
+		methods = append(methods, MethodPolicy)
+	}
+	for _, method := range methods {
+		row := PassesRow{Method: method, GeoLatency: 1, GeoICount: 1, GeoSize: 1}
+		logL, logI, logS := 0.0, 0.0, 0.0
+		n := 0
+		for _, d := range details {
+			var out *PassesOutput
+			for j := range d.Outputs {
+				if d.Outputs[j].Method == method {
+					out = &d.Outputs[j]
+				}
+			}
+			if out == nil {
+				continue
+			}
+			n++
+			logL += math.Log(float64(out.Metrics.Latency) / float64(d.Base.Latency))
+			logI += math.Log(float64(out.Metrics.ICount) / float64(d.Base.ICount))
+			logS += math.Log(float64(out.Metrics.Size) / float64(d.Base.Size))
+			if out.Verified {
+				row.Verified++
+			}
+			if out.Fallback {
+				row.Fallbacks++
+			}
+			if out.Metrics.Latency < d.Base.Latency {
+				row.Improved++
+			}
+			row.MeanSeqLen += float64(len(out.Sequence))
+		}
+		if n > 0 {
+			row.GeoLatency = math.Exp(logL / float64(n))
+			row.GeoICount = math.Exp(logI / float64(n))
+			row.GeoSize = math.Exp(logS / float64(n))
+			row.MeanSeqLen /= float64(n)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}

@@ -1,0 +1,207 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"veriopt/internal/alive"
+	"veriopt/internal/dataset"
+	"veriopt/internal/oracle"
+	"veriopt/internal/seqopt"
+)
+
+func passesCorpus(t *testing.T, n int) (train, val []*dataset.Sample) {
+	t.Helper()
+	samples, err := dataset.Generate(dataset.Config{Seed: 51, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val, err = dataset.Split(samples, 0.4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, val
+}
+
+// TestPassesSmoke is the workload acceptance gate (`make passes-smoke`):
+// tiny corpus, short training run, beam baseline — then three hard
+// assertions: (1) every emitted non-identity output is oracle-verified
+// Equivalent, independently re-proven here with a fresh verifier call;
+// (2) no method ever needed the fallback (the registry is sound); (3)
+// the beam baseline strictly beats the fixed instcombine pipeline on
+// geomean latency.
+func TestPassesSmoke(t *testing.T) {
+	train, val := passesCorpus(t, 60)
+	cfg := DefaultPassesConfig()
+	cfg.TrainSteps = 10
+	cfg.Oracle = oracle.NewStack(oracle.Config{})
+	res, err := RunPassesCtx(context.Background(), train, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if rep.Samples() != len(val) {
+		t.Fatalf("report covers %d samples, want %d", rep.Samples(), len(val))
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("report has %d rows, want 4", len(rep.Rows))
+	}
+
+	// (1) + (2): every accepted output re-verifies, no fallbacks.
+	for _, d := range rep.Details {
+		for _, out := range d.Outputs {
+			if out.Fallback {
+				t.Errorf("%s/%s: fallback used (unverified output emitted)", d.Sample.Name, out.Method)
+			}
+			if !out.Verified {
+				t.Errorf("%s/%s: output not verified", d.Sample.Name, out.Method)
+			}
+			if len(out.Sequence) == 0 {
+				continue
+			}
+			vr := alive.VerifyFuncs(d.Sample.O0, out.Fn, alive.DefaultOptions())
+			if vr.Verdict != alive.Equivalent {
+				t.Errorf("%s/%s: emitted output fails independent re-verification: %s",
+					d.Sample.Name, out.Method, vr.Diag)
+			}
+		}
+	}
+
+	// (3): beam strictly beats the fixed pipeline on geomean latency.
+	fixed, beam := rep.Row(MethodFixed), rep.Row(MethodBeam)
+	if fixed == nil || beam == nil {
+		t.Fatal("missing fixed/beam rows")
+	}
+	if beam.GeoLatency >= fixed.GeoLatency {
+		t.Errorf("beam geomean latency %.4f does not beat fixed instcombine %.4f",
+			beam.GeoLatency, fixed.GeoLatency)
+	}
+	// Greedy sits between doing nothing and beam.
+	greedy := rep.Row(MethodGreedy)
+	if greedy.GeoLatency > 1 || beam.GeoLatency > greedy.GeoLatency {
+		t.Errorf("ordering violated: greedy %.4f, beam %.4f", greedy.GeoLatency, beam.GeoLatency)
+	}
+	// The trained policy must act: non-trivial sequences and some wins.
+	policy := rep.Row(MethodPolicy)
+	if policy.Improved == 0 {
+		t.Error("trained policy improved nothing")
+	}
+	if len(res.History) != cfg.TrainSteps {
+		t.Errorf("history has %d entries, want %d", len(res.History), cfg.TrainSteps)
+	}
+}
+
+// TestPassesEvalWorkerIndependence pins eval determinism: the
+// rendered report is identical at Workers=1 and Workers=4 (run under
+// -race in tier 2).
+func TestPassesEvalWorkerIndependence(t *testing.T) {
+	_, val := passesCorpus(t, 40)
+	m := seqopt.NewModel(3)
+	run := func(workers int) string {
+		cfg := DefaultPassesConfig()
+		cfg.Workers = workers
+		cfg.Oracle = oracle.NewStack(oracle.Config{})
+		rep, err := EvaluatePassesCtx(context.Background(), m, val, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.String()
+	}
+	if a, b := run(1), run(4); a != b {
+		t.Errorf("evaluation differs across worker counts:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestPassesTrainWorkerIndependence pins the full workload trajectory
+// (training + eval) across worker counts.
+func TestPassesTrainWorkerIndependence(t *testing.T) {
+	train, val := passesCorpus(t, 40)
+	run := func(workers int) string {
+		cfg := DefaultPassesConfig()
+		cfg.TrainSteps = 4
+		cfg.Workers = workers
+		cfg.Oracle = oracle.NewStack(oracle.Config{})
+		res, err := RunPassesCtx(context.Background(), train, val, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report.String()
+	}
+	if a, b := run(1), run(4); a != b {
+		t.Errorf("workload result differs across worker counts:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestPassesBench measures the pass-ordering workload and, with
+// BENCH_PASSES_OUT set (`make bench-passes`), writes BENCH_passes.json:
+// the four-way geomean latency table, the search's oracle traffic, and
+// the cold-vs-warm solver-run split demonstrating that a warm verdict
+// cache answers a repeated search with zero solver runs.
+func TestPassesBench(t *testing.T) {
+	out := os.Getenv("BENCH_PASSES_OUT")
+	n := 40
+	if out != "" {
+		n = 120
+	}
+	train, val := passesCorpus(t, n)
+	stack := oracle.NewStack(oracle.Config{})
+	cfg := DefaultPassesConfig()
+	cfg.TrainSteps = 12
+	cfg.Oracle = stack
+
+	t0 := time.Now()
+	res, err := RunPassesCtx(context.Background(), train, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldWall := time.Since(t0)
+	coldStats := stack.Engine.Stats()
+
+	// Warm re-evaluation: identical searches against the warm cache
+	// must perform zero additional solver (compute) runs.
+	t0 = time.Now()
+	rep2, err := EvaluatePassesCtx(context.Background(), res.Model, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmWall := time.Since(t0)
+	warmStats := stack.Engine.Stats()
+	warmMisses := warmStats.Misses - coldStats.Misses
+	if warmMisses != 0 {
+		t.Errorf("warm re-evaluation ran the solver %d times, want 0", warmMisses)
+	}
+	if rep2.String() != res.Report.String() {
+		t.Error("warm re-evaluation changed the report")
+	}
+
+	if out == "" {
+		return
+	}
+	rows := map[string]float64{}
+	for _, row := range res.Report.Rows {
+		rows["geomean_latency_"+row.Method] = row.GeoLatency
+	}
+	doc := map[string]interface{}{
+		"samples_train":     len(train),
+		"samples_val":       len(val),
+		"train_steps":       cfg.TrainSteps,
+		"geomeans":          rows,
+		"oracle_queries":    coldStats.Queries,
+		"cold_solver_runs":  coldStats.Misses,
+		"cold_cache_hits":   coldStats.Hits,
+		"warm_solver_runs":  warmMisses,
+		"cold_wall_ms":      float64(coldWall.Microseconds()) / 1000,
+		"warm_eval_wall_ms": float64(warmWall.Microseconds()) / 1000,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

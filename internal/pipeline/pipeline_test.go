@@ -22,7 +22,10 @@ func smallRun(t *testing.T) (*Result, []*dataset.Sample) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	train, val := dataset.Split(samples, 0.3, 9)
+	train, val, err := dataset.Split(samples, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := DefaultStageConfig()
 	cfg.Stage1Steps = 6
 	cfg.Stage2Steps = 40
