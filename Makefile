@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 lint serve-smoke resume-smoke store-smoke cluster-smoke passes-smoke bench bench-workers bench-solver bench-store bench-cluster bench-passes
+.PHONY: all tier1 tier2 lint serve-smoke resume-smoke store-smoke cluster-smoke passes-smoke load-smoke bench bench-workers bench-solver bench-store bench-cluster bench-passes bench-load
 
 all: tier1 tier2
 
@@ -16,7 +16,7 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2: lint serve-smoke resume-smoke store-smoke cluster-smoke passes-smoke
+tier2: lint serve-smoke resume-smoke store-smoke cluster-smoke passes-smoke load-smoke
 	$(GO) test -race ./...
 
 # Serving-layer acceptance gate: >=100 concurrent /v1/verify requests
@@ -56,6 +56,15 @@ cluster-smoke:
 # instcombine pipeline on geomean latency.
 passes-smoke:
 	$(GO) test -run TestPassesSmoke -count=1 ./internal/pipeline
+
+# Load acceptance gate: a real `veriopt serve` process driven through
+# all five built-in traffic mixes (hot-repeat, all-distinct,
+# deadline-heavy, malformed-ir, mixed), each graded against its SLO.
+# Fails on any shed-rate/hit-rate/canceled-fraction violation, any
+# 5xx, or any worker panic (a malformed-IR body must never take down
+# a worker).
+load-smoke:
+	LOAD_SMOKE=1 $(GO) test -run TestLoadSmoke -count=1 -v ./internal/loadgen
 
 # lint fails on any vet diagnostic or unformatted file.
 lint:
@@ -112,3 +121,10 @@ bench-cluster: cluster-smoke
 bench-passes:
 	BENCH_PASSES_OUT=$(CURDIR)/BENCH_passes.json \
 	$(GO) test -run TestPassesBench -count=1 -v ./internal/pipeline
+
+# Load benchmark: same harness as load-smoke, plus the per-mix /
+# per-scenario p50/p99/shed/hit-rate report written to BENCH_load.json
+# (quoted in EXPERIMENTS.md).
+bench-load:
+	BENCH_LOAD_OUT=$(CURDIR)/BENCH_load.json \
+	$(GO) test -run TestLoadSmoke -count=1 -v ./internal/loadgen

@@ -56,6 +56,8 @@ func cmdServe(ctx context.Context, args []string) error {
 		"trained policy JSON (from train -save) behind /v1/optimize and /v1/evaluate; empty = instcombine / untrained base")
 	timeout := fs.Duration("timeout", 30*time.Second,
 		"default per-request deadline, queue wait included (requests may set their own timeout_ms)")
+	maxTimeout := fs.Duration("max-timeout", server.DefaultMaxTimeout,
+		"ceiling on client-supplied timeout_ms; larger requests are clamped, negative ones rejected with 400")
 	grace := fs.Duration("grace", server.DefaultGracePeriod, "drain deadline after SIGTERM/SIGINT")
 	trace := fs.String("trace", "", "write JSON-lines request-span events to this file ('-' = stderr)")
 	storeDir := fs.String("store-dir", "",
@@ -173,6 +175,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		Workers:        *workers,
 		QueueSize:      *queueSize,
 		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
 		GracePeriod:    *grace,
 		Oracle:         o,
 		Model:          model,

@@ -15,6 +15,11 @@ import (
 type Sample struct {
 	Name     string
 	Template string
+	// Scenario is the template's corpus-taxonomy label (one of the
+	// Scenario* constants): it flows from the registry through
+	// GenReport rollups and Split into per-scenario evaluation and
+	// load-generation accounting.
+	Scenario string
 	// Module holds declarations the function's calls need.
 	Module *ir.Module
 	// O0 is the unoptimized function, Ref the instcombine reference.
@@ -41,10 +46,22 @@ type Config struct {
 // TemplateStat is one template's generation accounting.
 type TemplateStat struct {
 	Name string
+	// Scenario is the template's corpus-taxonomy label.
+	Scenario string
 	// Kept counts instances that survived the verify/context filter.
 	Kept int
 	// Rejected counts instances the filter excluded.
 	Rejected int
+}
+
+// ScenarioStat aggregates generation accounting over one scenario
+// label (several templates).
+type ScenarioStat struct {
+	Scenario string
+	// Templates counts registry entries carrying the label.
+	Templates int
+	Kept      int
+	Rejected  int
 }
 
 // GenReport summarizes a corpus generation run: total attempts and
@@ -52,6 +69,25 @@ type TemplateStat struct {
 type GenReport struct {
 	Attempts  int
 	Templates []TemplateStat
+}
+
+// Scenarios rolls the per-template accounting up to scenario labels,
+// in first-appearance registry order.
+func (r *GenReport) Scenarios() []ScenarioStat {
+	idx := map[string]int{}
+	var out []ScenarioStat
+	for _, ts := range r.Templates {
+		i, ok := idx[ts.Scenario]
+		if !ok {
+			i = len(out)
+			idx[ts.Scenario] = i
+			out = append(out, ScenarioStat{Scenario: ts.Scenario})
+		}
+		out[i].Templates++
+		out[i].Kept += ts.Kept
+		out[i].Rejected += ts.Rejected
+	}
+	return out
 }
 
 // String renders the report for logs and the dataset CLI.
@@ -62,7 +98,21 @@ func (r *GenReport) String() string {
 	}
 	out := fmt.Sprintf("generated %d samples in %d attempts", kept, r.Attempts)
 	for _, ts := range r.Templates {
-		out += fmt.Sprintf("\n  %-15s kept %3d, rejected %3d", ts.Name, ts.Kept, ts.Rejected)
+		out += fmt.Sprintf("\n  %-15s %-13s kept %3d, rejected %3d", ts.Name, ts.Scenario, ts.Kept, ts.Rejected)
+	}
+	for _, ss := range r.Scenarios() {
+		out += fmt.Sprintf("\n  scenario %-13s %2d templates, kept %3d, rejected %3d",
+			ss.Scenario, ss.Templates, ss.Kept, ss.Rejected)
+	}
+	return out
+}
+
+// ScenarioCounts tallies samples by scenario label — the mix a split
+// side or a load-generation corpus actually carries.
+func ScenarioCounts(samples []*Sample) map[string]int {
+	out := map[string]int{}
+	for _, s := range samples {
+		out[s.Scenario]++
 	}
 	return out
 }
@@ -98,6 +148,7 @@ func GenerateReport(cfg Config) ([]*Sample, *GenReport, error) {
 	rep := &GenReport{Templates: make([]TemplateStat, len(tmpls))}
 	for i, tm := range tmpls {
 		rep.Templates[i].Name = tm.Name
+		rep.Templates[i].Scenario = tm.Scenario
 	}
 	var out []*Sample
 	id := 0 // global instance counter: keeps generated names unique
@@ -109,7 +160,7 @@ func GenerateReport(cfg Config) ([]*Sample, *GenReport, error) {
 		ti := nextTemplate(rep.Templates)
 		prog := tmpls[ti].Gen(rng, id)
 		id++
-		s, err := build(prog, tmpls[ti].Name, cfg)
+		s, err := build(prog, tmpls[ti], cfg)
 		if err != nil {
 			return nil, rep, err
 		}
@@ -136,7 +187,7 @@ func nextTemplate(stats []TemplateStat) int {
 	return best
 }
 
-func build(prog *program, tmpl string, cfg Config) (*Sample, error) {
+func build(prog *program, tmpl Template, cfg Config) (*Sample, error) {
 	m, err := lower(prog)
 	if err != nil {
 		return nil, err
@@ -159,7 +210,8 @@ func build(prog *program, tmpl string, cfg Config) (*Sample, error) {
 	}
 	return &Sample{
 		Name:     prog.name,
-		Template: tmpl,
+		Template: tmpl.Name,
+		Scenario: tmpl.Scenario,
 		Module:   m,
 		O0:       o0,
 		Ref:      ref,

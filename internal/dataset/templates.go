@@ -11,10 +11,37 @@ import (
 // constants, widths, and shapes under a seeded RNG.
 type Template struct {
 	Name string
+	// Scenario classifies the family for corpus accounting, the load
+	// harness, and per-scenario benchmark reporting: one of the
+	// Scenario* constants below.
+	Scenario string
 	// Gen builds a program instance. Deterministic for a given RNG
 	// state.
 	Gen func(rng *rand.Rand, id int) *program
 }
+
+// Scenario labels partition the template registry into the corpus
+// taxonomy (DESIGN.md §17). The label rides on every generated Sample
+// and flows through GenReport rollups, Split, and the load generator's
+// per-scenario latency accounting.
+const (
+	// ScenarioScalar covers straight-line scalar arithmetic families.
+	ScenarioScalar = "scalar"
+	// ScenarioControlFlow covers multi-block CFG shapes — diamonds,
+	// ladders, nested branches, switches — the feedstock of the
+	// fold-branches / if-to-select / merge-blocks passes.
+	ScenarioControlFlow = "control-flow"
+	// ScenarioLoop covers bounded counted loops in varied shapes
+	// (plain, branch-in-body, sequential, shift-accumulate).
+	ScenarioLoop = "loop"
+	// ScenarioWideInt covers i1/i8/i16/i64 width mixes and cast-heavy
+	// shapes.
+	ScenarioWideInt = "wide-int"
+	// ScenarioAdversarial covers poison/UB edge cases, near-overflow
+	// constants, and dead-store chains — inputs built to punish
+	// unsound folds.
+	ScenarioAdversarial = "adversarial"
+)
 
 var widths = []ir.IntType{ir.I8, ir.I16, ir.I32, ir.I64}
 
@@ -34,33 +61,50 @@ func p(i int) expr { return eParam{idx: i} }
 
 func bin(op ir.Opcode, l, r expr) expr  { return eBin{op: op, l: l, r: r} }
 func binN(op ir.Opcode, l, r expr) expr { return eBin{op: op, flags: ir.Flags{NSW: true}, l: l, r: r} }
+func binU(op ir.Opcode, l, r expr) expr { return eBin{op: op, flags: ir.Flags{NUW: true}, l: l, r: r} }
 
-// Templates returns the full registry in stable order.
+// Templates returns the full registry in stable order. Append-only:
+// the scheduler and every seeded corpus depend on registry order.
 func Templates() []Template {
 	return []Template{
-		{Name: "arith-chain", Gen: genArithChain},
-		{Name: "identity-mix", Gen: genIdentityMix},
-		{Name: "strength-mul", Gen: genStrengthMul},
-		{Name: "strength-div", Gen: genStrengthDiv},
-		{Name: "xor-cancel", Gen: genXorCancel},
-		{Name: "negation", Gen: genNegation},
-		{Name: "cmp-chain", Gen: genCmpChain},
-		{Name: "branch-max", Gen: genBranchMax},
-		{Name: "branch-clamp", Gen: genBranchClamp},
-		{Name: "sign-splat", Gen: genSignSplat},
-		{Name: "cast-chain", Gen: genCastChain},
-		{Name: "known-bits", Gen: genKnownBits},
-		{Name: "const-ret", Gen: genConstRet},
-		{Name: "cond-call", Gen: genCondCall},
-		{Name: "call-arith", Gen: genCallArith},
-		{Name: "store-zero", Gen: genStoreZero},
-		{Name: "overflow-trap", Gen: genOverflowTrap},
-		{Name: "nonpow2-div", Gen: genNonPow2Div},
-		{Name: "bounded-loop", Gen: genBoundedLoop},
-		{Name: "deep-chain", Gen: genDeepChain},
-		{Name: "multi-var", Gen: genMultiVar},
-		{Name: "select-bool", Gen: genSelectBool},
-		{Name: "switch-table", Gen: genSwitchTable},
+		{Name: "arith-chain", Scenario: ScenarioScalar, Gen: genArithChain},
+		{Name: "identity-mix", Scenario: ScenarioScalar, Gen: genIdentityMix},
+		{Name: "strength-mul", Scenario: ScenarioScalar, Gen: genStrengthMul},
+		{Name: "strength-div", Scenario: ScenarioScalar, Gen: genStrengthDiv},
+		{Name: "xor-cancel", Scenario: ScenarioScalar, Gen: genXorCancel},
+		{Name: "negation", Scenario: ScenarioScalar, Gen: genNegation},
+		{Name: "cmp-chain", Scenario: ScenarioScalar, Gen: genCmpChain},
+		{Name: "branch-max", Scenario: ScenarioControlFlow, Gen: genBranchMax},
+		{Name: "branch-clamp", Scenario: ScenarioControlFlow, Gen: genBranchClamp},
+		{Name: "sign-splat", Scenario: ScenarioControlFlow, Gen: genSignSplat},
+		{Name: "cast-chain", Scenario: ScenarioWideInt, Gen: genCastChain},
+		{Name: "known-bits", Scenario: ScenarioScalar, Gen: genKnownBits},
+		{Name: "const-ret", Scenario: ScenarioScalar, Gen: genConstRet},
+		{Name: "cond-call", Scenario: ScenarioControlFlow, Gen: genCondCall},
+		{Name: "call-arith", Scenario: ScenarioScalar, Gen: genCallArith},
+		{Name: "store-zero", Scenario: ScenarioScalar, Gen: genStoreZero},
+		{Name: "overflow-trap", Scenario: ScenarioAdversarial, Gen: genOverflowTrap},
+		{Name: "nonpow2-div", Scenario: ScenarioScalar, Gen: genNonPow2Div},
+		{Name: "bounded-loop", Scenario: ScenarioLoop, Gen: genBoundedLoop},
+		{Name: "deep-chain", Scenario: ScenarioScalar, Gen: genDeepChain},
+		{Name: "multi-var", Scenario: ScenarioScalar, Gen: genMultiVar},
+		{Name: "select-bool", Scenario: ScenarioControlFlow, Gen: genSelectBool},
+		{Name: "switch-table", Scenario: ScenarioControlFlow, Gen: genSwitchTable},
+		// Scenario-corpus families (DESIGN.md §17): multi-block control
+		// flow, wider loop shapes, bit-width mixes, adversarial edges.
+		{Name: "nested-branch", Scenario: ScenarioControlFlow, Gen: genNestedBranch},
+		{Name: "diamond-ladder", Scenario: ScenarioControlFlow, Gen: genDiamondLadder},
+		{Name: "branch-ladder", Scenario: ScenarioControlFlow, Gen: genBranchLadder},
+		{Name: "loop-branch", Scenario: ScenarioLoop, Gen: genLoopBranch},
+		{Name: "loop-double", Scenario: ScenarioLoop, Gen: genLoopDouble},
+		{Name: "loop-shift", Scenario: ScenarioLoop, Gen: genLoopShift},
+		{Name: "bool-mix", Scenario: ScenarioWideInt, Gen: genBoolMix},
+		{Name: "width-mix", Scenario: ScenarioWideInt, Gen: genWidthMix},
+		{Name: "narrow-rescue", Scenario: ScenarioWideInt, Gen: genNarrowRescue},
+		{Name: "near-overflow", Scenario: ScenarioAdversarial, Gen: genNearOverflow},
+		{Name: "poison-shift", Scenario: ScenarioAdversarial, Gen: genPoisonShift},
+		{Name: "dead-store", Scenario: ScenarioAdversarial, Gen: genDeadStore},
+		{Name: "guarded-div", Scenario: ScenarioAdversarial, Gen: genGuardedDiv},
 	}
 }
 
@@ -458,6 +502,281 @@ func genMultiVar(rng *rand.Rand, id int) *program {
 			sDecl{name: "z", ty: ty, init: bin(ir.OpSub, eVar{name: "y"}, p(2))},
 			sRet{e: bin(ir.OpAdd, eVar{name: "z"}, eConst{ty: ty, val: 0})},
 		},
+	}
+}
+
+// genNestedBranch: a diamond nested inside one arm of an outer
+// diamond — three-leaf CFG feeding fold-branches and if-to-select.
+func genNestedBranch(rng *rand.Rand, id int) *program {
+	ty := anyWidth(rng)
+	outer := []ir.Pred{ir.PredSGT, ir.PredSLT}[rng.Intn(2)]
+	inner := []ir.Pred{ir.PredUGT, ir.PredULT}[rng.Intn(2)]
+	return &program{
+		name: fmt.Sprintf("nested_branch_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty, ty},
+		body: []stmt{
+			sDecl{name: "r", ty: ty, init: smallConst(rng, ty)},
+			sIf{
+				cond: eCmp{pred: outer, l: p(0), r: smallConst(rng, ty)},
+				then: []stmt{
+					sIf{
+						cond: eCmp{pred: inner, l: p(1), r: smallConst(rng, ty)},
+						then: []stmt{sAssign{name: "r", e: p(0)}},
+						els:  []stmt{sAssign{name: "r", e: p(1)}},
+					},
+				},
+				els: []stmt{sAssign{name: "r", e: bin(ir.OpXor, p(0), p(1))}},
+			},
+			sRet{e: eVar{name: "r"}},
+		},
+	}
+}
+
+// genDiamondLadder: two sequential if/else diamonds over one
+// accumulator — the ladder CFG merge-blocks and if-to-select chew
+// through, with an identity op hidden in one arm.
+func genDiamondLadder(rng *rand.Rand, id int) *program {
+	ty := anyWidth(rng)
+	return &program{
+		name: fmt.Sprintf("diamond_ladder_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty, ty},
+		body: []stmt{
+			sDecl{name: "r", ty: ty, init: p(0)},
+			sIf{
+				cond: eCmp{pred: ir.PredSLT, l: p(0), r: smallConst(rng, ty)},
+				then: []stmt{sAssign{name: "r", e: bin(ir.OpAdd, eVar{name: "r"}, smallConst(rng, ty))}},
+				els:  []stmt{sAssign{name: "r", e: bin(ir.OpXor, eVar{name: "r"}, smallConst(rng, ty))}},
+			},
+			sIf{
+				cond: eCmp{pred: ir.PredULT, l: p(1), r: smallConst(rng, ty)},
+				then: []stmt{sAssign{name: "r", e: bin(ir.OpAdd, eVar{name: "r"}, eConst{ty: ty, val: 0})}},
+				els:  []stmt{sAssign{name: "r", e: bin(ir.OpSub, eVar{name: "r"}, p(1))}},
+			},
+			sRet{e: eVar{name: "r"}},
+		},
+	}
+}
+
+// genBranchLadder: an else-if ladder of early returns over increasing
+// thresholds — the classic C range-dispatch shape.
+func genBranchLadder(rng *rand.Rand, id int) *program {
+	ty := ir.I32
+	c1 := int64(rng.Intn(10))
+	c2 := c1 + 1 + int64(rng.Intn(20))
+	return &program{
+		name: fmt.Sprintf("branch_ladder_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty},
+		body: []stmt{
+			sIf{
+				cond: eCmp{pred: ir.PredSLT, l: p(0), r: eConst{ty: ty, val: c1}},
+				then: []stmt{sRet{e: eConst{ty: ty, val: int64(rng.Intn(8))}}},
+			},
+			sIf{
+				cond: eCmp{pred: ir.PredSLT, l: p(0), r: eConst{ty: ty, val: c2}},
+				then: []stmt{sRet{e: bin(ir.OpAnd, p(0), eConst{ty: ty, val: 7})}},
+			},
+			sRet{e: bin(ir.OpAdd, p(0), smallConst(rng, ty))},
+		},
+	}
+}
+
+// genLoopBranch: a counted loop with a data-dependent branch in the
+// body — path count grows as 2^n, still within bounded validation.
+func genLoopBranch(rng *rand.Rand, id int) *program {
+	ty := ir.I32
+	n := int64(2 + rng.Intn(2))
+	return &program{
+		name: fmt.Sprintf("loop_branch_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty},
+		body: []stmt{
+			sDecl{name: "i", ty: ty},
+			sDecl{name: "acc", ty: ty, init: p(0)},
+			sFor{ivar: "i", count: n, body: []stmt{
+				sIf{
+					cond: eCmp{pred: ir.PredSLT, l: eVar{name: "acc"}, r: eConst{ty: ty, val: 16}},
+					then: []stmt{sAssign{name: "acc", e: bin(ir.OpAdd, eVar{name: "acc"}, eConst{ty: ty, val: 5})}},
+					els:  []stmt{sAssign{name: "acc", e: bin(ir.OpXor, eVar{name: "acc"}, eConst{ty: ty, val: 3})}},
+				},
+			}},
+			sRet{e: eVar{name: "acc"}},
+		},
+	}
+}
+
+// genLoopDouble: two sequential counted loops sharing the induction
+// slot — back-to-back loop CFGs with different step ops.
+func genLoopDouble(rng *rand.Rand, id int) *program {
+	ty := ir.I32
+	n1 := int64(2 + rng.Intn(2))
+	n2 := int64(2 + rng.Intn(2))
+	return &program{
+		name: fmt.Sprintf("loop_double_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty},
+		body: []stmt{
+			sDecl{name: "i", ty: ty},
+			sDecl{name: "acc", ty: ty, init: p(0)},
+			sFor{ivar: "i", count: n1, body: []stmt{
+				sAssign{name: "acc", e: bin(ir.OpAdd, eVar{name: "acc"}, smallConst(rng, ty))},
+			}},
+			sFor{ivar: "i", count: n2, body: []stmt{
+				sAssign{name: "acc", e: bin(ir.OpXor, eVar{name: "acc"}, eConst{ty: ty, val: 0})},
+			}},
+			sRet{e: eVar{name: "acc"}},
+		},
+	}
+}
+
+// genLoopShift: a shift-accumulate loop — unrolled it becomes the
+// accumulator chain shape the incremental solver sessions were built
+// for.
+func genLoopShift(rng *rand.Rand, id int) *program {
+	ty := ir.I32
+	n := int64(2 + rng.Intn(3))
+	return &program{
+		name: fmt.Sprintf("loop_shift_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty},
+		body: []stmt{
+			sDecl{name: "i", ty: ty},
+			sDecl{name: "acc", ty: ty, init: p(0)},
+			sFor{ivar: "i", count: n, body: []stmt{
+				sAssign{name: "acc", e: bin(ir.OpAdd, bin(ir.OpShl, eVar{name: "acc"}, eConst{ty: ty, val: 1}), eConst{ty: ty, val: 1})},
+			}},
+			sRet{e: eVar{name: "acc"}},
+		},
+	}
+}
+
+// genBoolMix: i1-typed logic over comparison results — exercises the
+// 1-bit width through the whole stack (lowering, solver, cost model).
+func genBoolMix(rng *rand.Rand, id int) *program {
+	ty := anyWidth(rng)
+	a := eCmp{pred: ir.PredSLT, l: p(0), r: smallConst(rng, ty)}
+	b := eCmp{pred: ir.PredULT, l: p(1), r: smallConst(rng, ty)}
+	var e expr
+	switch rng.Intn(3) {
+	case 0:
+		e = bin(ir.OpAnd, a, b)
+	case 1:
+		e = bin(ir.OpOr, a, b)
+	default:
+		// (a ^ b) ^ b cancels back to a at i1.
+		e = bin(ir.OpXor, bin(ir.OpXor, a, b), b)
+	}
+	return &program{
+		name: fmt.Sprintf("bool_mix_%d", id), retTy: ir.I32,
+		paramTys: []ir.IntType{ty, ty},
+		body:     []stmt{sRet{e: eCast{op: ir.OpZExt, to: ir.I32, e: e}}},
+	}
+}
+
+// genWidthMix: i64 truncated through i16/i8 arithmetic and widened
+// back — the trunc/op/ext sandwiches instcombine narrows.
+func genWidthMix(rng *rand.Rand, id int) *program {
+	mid := []ir.IntType{ir.I8, ir.I16}[rng.Intn(2)]
+	inner := bin(ir.OpAdd, eCast{op: ir.OpTrunc, to: mid, e: p(0)}, smallConst(rng, mid))
+	if rng.Intn(2) == 0 {
+		inner = bin(ir.OpXor, inner, eCast{op: ir.OpTrunc, to: mid, e: p(1)})
+	}
+	ext := ir.OpZExt
+	if rng.Intn(2) == 0 {
+		ext = ir.OpSExt
+	}
+	return &program{
+		name: fmt.Sprintf("width_mix_%d", id), retTy: ir.I64,
+		paramTys: []ir.IntType{ir.I64, ir.I64},
+		body:     []stmt{sRet{e: bin(ir.OpAnd, eCast{op: ext, to: ir.I64, e: inner}, eConst{ty: ir.I64, val: 0xffff})}},
+	}
+}
+
+// genNarrowRescue: an i8 value widened to i64, operated on with
+// constants that fit i8, and truncated back — the whole wide detour is
+// removable.
+func genNarrowRescue(rng *rand.Rand, id int) *program {
+	wide := eCast{op: ir.OpZExt, to: ir.I64, e: p(0)}
+	e := bin(ir.OpAdd, wide, eConst{ty: ir.I64, val: int64(rng.Intn(100))})
+	e = bin(ir.OpAnd, e, eConst{ty: ir.I64, val: 0xff})
+	return &program{
+		name: fmt.Sprintf("narrow_rescue_%d", id), retTy: ir.I16,
+		paramTys: []ir.IntType{ir.I8},
+		body:     []stmt{sRet{e: eCast{op: ir.OpTrunc, to: ir.I16, e: e}}},
+	}
+}
+
+// genNearOverflow: nsw/nuw arithmetic with constants parked at the
+// type's limits — hallucinated folds that ignore the wrap flags fail
+// Alive here, and legitimate flag-aware folds (x +nsw C sgt x → true)
+// must survive it.
+func genNearOverflow(rng *rand.Rand, id int) *program {
+	ty := anyWidth(rng)
+	max := int64(1)<<uint(ty.Bits-1) - 1
+	c := max - int64(rng.Intn(4))
+	var e expr
+	switch rng.Intn(3) {
+	case 0:
+		// x +nsw (near-max) compared against x.
+		e = eCast{op: ir.OpZExt, to: ir.I32,
+			e: eCmp{pred: ir.PredSGT, l: binN(ir.OpAdd, p(0), eConst{ty: ty, val: c}), r: p(0)}}
+	case 1:
+		// nuw near the unsigned ceiling: x +nuw (2^bits - small).
+		e = eCast{op: ir.OpZExt, to: ir.I32,
+			e: eCmp{pred: ir.PredUGE, l: binU(ir.OpAdd, p(0), eConst{ty: ty, val: -1 - int64(rng.Intn(3))}), r: p(0)}}
+	default:
+		// Near-max constant arithmetic without flags: must wrap honestly.
+		e = eCast{op: ir.OpZExt, to: ir.I32, e: eCmp{pred: ir.PredSLT,
+			l: bin(ir.OpAdd, p(0), eConst{ty: ty, val: c}), r: eConst{ty: ty, val: -max}}}
+	}
+	return &program{
+		name: fmt.Sprintf("near_overflow_%d", id), retTy: ir.I32,
+		paramTys: []ir.IntType{ty},
+		body:     []stmt{sRet{e: e}},
+	}
+}
+
+// genPoisonShift: shift amounts at and beyond the type width — the
+// at-width case is poison, so any fold must preserve (or refine) that
+// poison rather than invent a defined value.
+func genPoisonShift(rng *rand.Rand, id int) *program {
+	ty := anyWidth(rng)
+	k := int64(ty.Bits - 1 + rng.Intn(3)) // bits-1 (defined) .. bits+1 (poison)
+	op := []ir.Opcode{ir.OpShl, ir.OpLShr, ir.OpAShr}[rng.Intn(3)]
+	e := bin(ir.OpOr, bin(op, p(0), eConst{ty: ty, val: k}), p(1))
+	return &program{
+		name: fmt.Sprintf("poison_shift_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty, ty},
+		body:     []stmt{sRet{e: e}},
+	}
+}
+
+// genDeadStore: a chain of stores to one slot, every one but the last
+// dead — store forwarding plus dead-store elimination feedstock.
+func genDeadStore(rng *rand.Rand, id int) *program {
+	ty := anyWidth(rng)
+	n := 2 + rng.Intn(3)
+	body := []stmt{sDecl{name: "s", ty: ty, init: smallConst(rng, ty)}}
+	for i := 0; i < n; i++ {
+		body = append(body, sAssign{name: "s", e: smallConst(rng, ty)})
+	}
+	body = append(body,
+		sAssign{name: "s", e: bin(ir.OpAdd, p(0), smallConst(rng, ty))},
+		sRet{e: eVar{name: "s"}})
+	return &program{
+		name: fmt.Sprintf("dead_store_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty},
+		body:     body,
+	}
+}
+
+// genGuardedDiv: division by a symbolic divisor forced nonzero with
+// `| 1` — UB-adjacent without being UB, and expensive to reason about
+// if a fold touches the divisor.
+func genGuardedDiv(rng *rand.Rand, id int) *program {
+	ty := []ir.IntType{ir.I8, ir.I16}[rng.Intn(2)] // narrow keeps solver cost bounded
+	op := []ir.Opcode{ir.OpUDiv, ir.OpURem}[rng.Intn(2)]
+	e := eBin{op: op, l: p(0), r: bin(ir.OpOr, p(1), eConst{ty: ty, val: 1})}
+	return &program{
+		name: fmt.Sprintf("guarded_div_%d", id), retTy: ty,
+		paramTys: []ir.IntType{ty, ty},
+		body:     []stmt{sRet{e: e}},
 	}
 }
 

@@ -1,0 +1,102 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Counters is the slice of the server's /metrics exposition the SLO
+// evaluation needs. Scrape before and after a run; the deltas grade
+// the run.
+type Counters struct {
+	Shed         uint64
+	Panics       uint64
+	CacheQueries uint64
+	CacheHits    uint64
+}
+
+// Delta subtracts an earlier snapshot counter-wise.
+func (c Counters) Delta(before Counters) Counters {
+	return Counters{
+		Shed:         c.Shed - before.Shed,
+		Panics:       c.Panics - before.Panics,
+		CacheQueries: c.CacheQueries - before.CacheQueries,
+		CacheHits:    c.CacheHits - before.CacheHits,
+	}
+}
+
+// HitRate is hits over queries, 0 when nothing was queried.
+func (c Counters) HitRate() float64 {
+	if c.CacheQueries == 0 {
+		return 0
+	}
+	return float64(c.CacheHits) / float64(c.CacheQueries)
+}
+
+// Scrape fetches and parses the target's /metrics.
+func Scrape(ctx context.Context, client *http.Client, baseURL string) (Counters, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return Counters{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return Counters{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Counters{}, fmt.Errorf("loadgen: scrape %s: status %d", baseURL, resp.StatusCode)
+	}
+	return parseCounters(resp.Body)
+}
+
+// parseCounters pulls the relevant families out of Prometheus text
+// exposition. Unknown lines are ignored, so the parser survives new
+// families.
+func parseCounters(r interface{ Read([]byte) (int, error) }) (Counters, error) {
+	var c Counters
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := splitMetricLine(line)
+		if !ok {
+			continue
+		}
+		switch name {
+		case "veriopt_requests_shed_total":
+			c.Shed = val
+		case "veriopt_panics_total":
+			c.Panics = val
+		case `veriopt_vcache_total{counter="queries"}`:
+			c.CacheQueries = val
+		case `veriopt_vcache_total{counter="hits"}`:
+			c.CacheHits = val
+		}
+	}
+	return c, sc.Err()
+}
+
+// splitMetricLine separates "name{labels} value" into the labeled
+// name and an integer value; non-integer samples are skipped.
+func splitMetricLine(line string) (string, uint64, bool) {
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return "", 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(line[i+1:]), 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return strings.TrimSpace(line[:i]), v, true
+}

@@ -1,0 +1,174 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestLoadSmoke is the end-to-end load acceptance gate (`make
+// load-smoke` / `make bench-load`): a real `veriopt serve` process
+// driven through all five built-in traffic mixes, each graded against
+// its SLO. The serve process runs with a small injected verification
+// latency so the deadline-heavy mix's 10ms budgets genuinely trip and
+// quantiles measure serving behavior, not solver noise.
+//
+// Hard gates on every mix: zero 5xx, zero worker panics
+// (veriopt_panics_total stays 0 — a malformed-IR body must never take
+// down a worker), shed rate within bounds; plus the hot-repeat mix's
+// cache-hit floor and the deadline-heavy mix's canceled-fraction
+// floor.
+//
+// With BENCH_LOAD_OUT set, the full per-mix/per-scenario report is
+// written there as JSON (the BENCH_load.json quoted in
+// EXPERIMENTS.md). Env-gated like the other process smokes: plain `go
+// test ./...` skips it.
+func TestLoadSmoke(t *testing.T) {
+	if os.Getenv("LOAD_SMOKE") == "" && os.Getenv("BENCH_LOAD_OUT") == "" {
+		t.Skip("multi-process harness; run via `make load-smoke` (LOAD_SMOKE=1)")
+	}
+	bin := buildVeriopt(t)
+	srv := startServe(t, bin,
+		"-workers", "8", "-queue", "256",
+		"-sim-delay", "30ms")
+	defer srv.stop(t)
+
+	bench := &BenchOut{GeneratedUnixMilli: time.Now().UnixMilli(), Target: srv.url}
+	for _, name := range BuiltinNames() {
+		spec, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunMix(context.Background(), spec, RunConfig{BaseURL: srv.url})
+		if err != nil {
+			t.Fatalf("mix %s: %v", name, err)
+		}
+		t.Logf("\n%s", rep.String())
+		for _, v := range rep.Violations {
+			t.Errorf("mix %s: SLO violation: %s", name, v)
+		}
+		bench.Mixes = append(bench.Mixes, rep)
+	}
+
+	// The cross-mix hard gate: nothing in the whole run may have
+	// panicked a worker or answered 5xx — including every malformed
+	// body.
+	for _, m := range bench.Mixes {
+		if m.ServerErrors != 0 || m.PanicsDelta != 0 {
+			t.Errorf("mix %s: %d server errors, %d panics — want none", m.Mix, m.ServerErrors, m.PanicsDelta)
+		}
+	}
+
+	if path := os.Getenv("BENCH_LOAD_OUT"); path != "" && !t.Failed() {
+		blob, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+	}
+}
+
+// buildVeriopt builds the CLI once per test run.
+func buildVeriopt(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "veriopt")
+	cmd := exec.Command("go", "build", "-o", bin, "veriopt/cmd/veriopt")
+	cmd.Dir = "../.." // module root
+	if blob, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, blob)
+	}
+	return bin
+}
+
+// proc is one spawned `veriopt serve` process.
+type proc struct {
+	cmd *exec.Cmd
+	url string
+}
+
+func startServe(t *testing.T, bin string, extra ...string) *proc {
+	t.Helper()
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &proc{cmd: cmd}
+	t.Cleanup(func() {
+		if p.cmd.Process != nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+
+	// Parse the bound address off the startup banner, then keep
+	// draining stderr so the process never blocks on a full pipe.
+	lines := bufio.NewScanner(stderr)
+	var banner bytes.Buffer
+	for lines.Scan() {
+		line := lines.Text()
+		banner.WriteString(line + "\n")
+		if _, rest, ok := strings.Cut(line, "listening on http://"); ok {
+			p.url = "http://" + strings.Fields(rest)[0]
+			break
+		}
+	}
+	if p.url == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("no listening banner from %s %v:\n%s", bin, args, banner.String())
+	}
+	go io.Copy(io.Discard, stderr)
+
+	// Readiness: the banner precedes Run; wait for /healthz.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(p.url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return p
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("%s never became healthy", p.url)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// stop drains the process gracefully (SIGTERM) and reaps it.
+func (p *proc) stop(t *testing.T) {
+	t.Helper()
+	if p.cmd.Process == nil {
+		return
+	}
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		p.cmd.Process.Kill()
+		<-done
+	}
+}

@@ -99,7 +99,12 @@ type PassesRow struct {
 	// Verified counts oracle-proven outputs, Improved strict latency
 	// wins, Fallbacks rejected outputs.
 	Verified, Improved, Fallbacks int
-	MeanSeqLen                    float64
+	// Degenerate counts samples excluded from the geomeans because a
+	// metric was zero on either side of the ratio (empty-body or
+	// size-0 edge cases): log(0) and log(x/0) would otherwise fold
+	// ±Inf into the row and NaN every geomean.
+	Degenerate int
+	MeanSeqLen float64
 }
 
 // PassesReport is the four-way comparison table.
@@ -125,12 +130,12 @@ func (r *PassesReport) Row(method string) *PassesRow {
 func (r *PassesReport) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Pass-ordering evaluation (n=%d; geomean out/O0 ratios, lower is better)\n", r.Samples())
-	fmt.Fprintf(&sb, "%-18s %9s %9s %9s %9s %9s %6s %7s\n",
-		"Method", "Latency", "ICount", "Size", "Verified", "Improved", "Fall", "SeqLen")
+	fmt.Fprintf(&sb, "%-18s %9s %9s %9s %9s %9s %6s %5s %7s\n",
+		"Method", "Latency", "ICount", "Size", "Verified", "Improved", "Fall", "Degen", "SeqLen")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&sb, "%-18s %9.4f %9.4f %9.4f %9d %9d %6d %7.2f\n",
+		fmt.Fprintf(&sb, "%-18s %9.4f %9.4f %9.4f %9d %9d %6d %5d %7.2f\n",
 			row.Method, row.GeoLatency, row.GeoICount, row.GeoSize,
-			row.Verified, row.Improved, row.Fallbacks, row.MeanSeqLen)
+			row.Verified, row.Improved, row.Fallbacks, row.Degenerate, row.MeanSeqLen)
 	}
 	return sb.String()
 }
@@ -252,41 +257,64 @@ func EvaluatePassesCtx(ctx context.Context, m *seqopt.Model, samples []*dataset.
 		methods = append(methods, MethodPolicy)
 	}
 	for _, method := range methods {
-		row := PassesRow{Method: method, GeoLatency: 1, GeoICount: 1, GeoSize: 1}
-		logL, logI, logS := 0.0, 0.0, 0.0
-		n := 0
-		for _, d := range details {
-			var out *PassesOutput
-			for j := range d.Outputs {
-				if d.Outputs[j].Method == method {
-					out = &d.Outputs[j]
-				}
+		rep.Rows = append(rep.Rows, aggregatePasses(method, details))
+	}
+	return rep, nil
+}
+
+// aggregatePasses folds one method's per-sample outputs into a report
+// row. A sample with a zero Latency/ICount/Size on either side of the
+// out/base ratio is degenerate — log of 0 or division by 0 would turn
+// the whole geomean into NaN — so it is skipped from the geomean
+// accumulation and counted in Degenerate instead. Counters
+// (Verified/Improved/Fallbacks/MeanSeqLen) still cover every sample.
+func aggregatePasses(method string, details []*PassesDetail) PassesRow {
+	row := PassesRow{Method: method, GeoLatency: 1, GeoICount: 1, GeoSize: 1}
+	logL, logI, logS := 0.0, 0.0, 0.0
+	n, nGeo := 0, 0
+	for _, d := range details {
+		var out *PassesOutput
+		for j := range d.Outputs {
+			if d.Outputs[j].Method == method {
+				out = &d.Outputs[j]
 			}
-			if out == nil {
-				continue
-			}
-			n++
+		}
+		if out == nil {
+			continue
+		}
+		n++
+		if degenerateMetrics(out.Metrics) || degenerateMetrics(d.Base) {
+			row.Degenerate++
+		} else {
+			nGeo++
 			logL += math.Log(float64(out.Metrics.Latency) / float64(d.Base.Latency))
 			logI += math.Log(float64(out.Metrics.ICount) / float64(d.Base.ICount))
 			logS += math.Log(float64(out.Metrics.Size) / float64(d.Base.Size))
-			if out.Verified {
-				row.Verified++
-			}
-			if out.Fallback {
-				row.Fallbacks++
-			}
-			if out.Metrics.Latency < d.Base.Latency {
-				row.Improved++
-			}
-			row.MeanSeqLen += float64(len(out.Sequence))
 		}
-		if n > 0 {
-			row.GeoLatency = math.Exp(logL / float64(n))
-			row.GeoICount = math.Exp(logI / float64(n))
-			row.GeoSize = math.Exp(logS / float64(n))
-			row.MeanSeqLen /= float64(n)
+		if out.Verified {
+			row.Verified++
 		}
-		rep.Rows = append(rep.Rows, row)
+		if out.Fallback {
+			row.Fallbacks++
+		}
+		if out.Metrics.Latency < d.Base.Latency {
+			row.Improved++
+		}
+		row.MeanSeqLen += float64(len(out.Sequence))
 	}
-	return rep, nil
+	if nGeo > 0 {
+		row.GeoLatency = math.Exp(logL / float64(nGeo))
+		row.GeoICount = math.Exp(logI / float64(nGeo))
+		row.GeoSize = math.Exp(logS / float64(nGeo))
+	}
+	if n > 0 {
+		row.MeanSeqLen /= float64(n)
+	}
+	return row
+}
+
+// degenerateMetrics reports a metric vector that cannot participate
+// in a log-space ratio.
+func degenerateMetrics(m costmodel.Metrics) bool {
+	return m.Latency <= 0 || m.ICount <= 0 || m.Size <= 0
 }

@@ -3,11 +3,13 @@ package pipeline
 import (
 	"context"
 	"encoding/json"
+	"math"
 	"os"
 	"testing"
 	"time"
 
 	"veriopt/internal/alive"
+	"veriopt/internal/costmodel"
 	"veriopt/internal/dataset"
 	"veriopt/internal/oracle"
 	"veriopt/internal/seqopt"
@@ -204,4 +206,69 @@ func TestPassesBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", out)
+}
+
+// TestAggregatePassesDegenerate pins the geomean-poisoning fix: a
+// sample with a zero metric on either side of the out/base ratio is
+// skipped and counted rather than folding log(0)'s -Inf (or a
+// division by zero's NaN) into the whole method row.
+func TestAggregatePassesDegenerate(t *testing.T) {
+	m := func(l, i, s int) costmodel.Metrics { return costmodel.Metrics{Latency: l, ICount: i, Size: s} }
+	out := func(metrics costmodel.Metrics) []PassesOutput {
+		return []PassesOutput{{Method: MethodFixed, Sequence: []string{"instcombine"}, Metrics: metrics}}
+	}
+	cases := []struct {
+		name    string
+		details []*PassesDetail
+		wantGeo float64 // GeoLatency
+		wantDeg int
+	}{
+		{
+			name: "clean",
+			details: []*PassesDetail{
+				{Base: m(8, 8, 32), Outputs: out(m(4, 4, 16))},
+				{Base: m(2, 2, 8), Outputs: out(m(4, 4, 16))},
+			},
+			wantGeo: 1, wantDeg: 0, // ratios 0.5 and 2 cancel
+		},
+		{
+			name: "zero output metric skipped",
+			details: []*PassesDetail{
+				{Base: m(8, 8, 32), Outputs: out(m(4, 4, 16))},
+				{Base: m(8, 8, 32), Outputs: out(m(0, 1, 4))},
+			},
+			wantGeo: 0.5, wantDeg: 1,
+		},
+		{
+			name: "zero base metric skipped",
+			details: []*PassesDetail{
+				{Base: m(8, 8, 32), Outputs: out(m(4, 4, 16))},
+				{Base: m(4, 4, 0), Outputs: out(m(4, 4, 16))},
+			},
+			wantGeo: 0.5, wantDeg: 1,
+		},
+		{
+			name: "all degenerate leaves identity geomean",
+			details: []*PassesDetail{
+				{Base: m(0, 0, 0), Outputs: out(m(0, 0, 0))},
+			},
+			wantGeo: 1, wantDeg: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			row := aggregatePasses(MethodFixed, tc.details)
+			if row.Degenerate != tc.wantDeg {
+				t.Errorf("Degenerate = %d, want %d", row.Degenerate, tc.wantDeg)
+			}
+			if diff := row.GeoLatency - tc.wantGeo; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("GeoLatency = %v, want %v", row.GeoLatency, tc.wantGeo)
+			}
+			for _, g := range []float64{row.GeoLatency, row.GeoICount, row.GeoSize} {
+				if math.IsNaN(g) || math.IsInf(g, 0) {
+					t.Errorf("geomean not finite: %v", g)
+				}
+			}
+		})
+	}
 }

@@ -162,11 +162,24 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 // request deadline, shedding with 429 + Retry-After when the queue is
 // full and 503 while draining. fn returns the response status and
 // body.
+//
+// Deadline semantics are honest in both directions: a negative
+// timeout_ms is a client error (400), and a positive one is clamped
+// to the server's MaxTimeout so no request can talk itself past the
+// operator's ceiling. A panicking fn answers 500 instead of killing
+// the queue worker (and with it the whole process).
 func (s *Server) serveQueued(w http.ResponseWriter, r *http.Request, timeoutMs int, fn func(ctx context.Context) (int, any)) {
+	if timeoutMs < 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "timeout_ms must be non-negative"})
+		return
+	}
 	ctx := r.Context()
 	d := s.cfg.DefaultTimeout
 	if timeoutMs > 0 {
 		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
 	}
 	if d > 0 {
 		var cancel context.CancelFunc
@@ -180,6 +193,13 @@ func (s *Server) serveQueued(w http.ResponseWriter, r *http.Request, timeoutMs i
 	enqueuedAt := time.Now()
 	j := &job{done: make(chan struct{})}
 	j.run = func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.panics.Add(1)
+				status = http.StatusInternalServerError
+				body = ErrorResponse{Error: fmt.Sprintf("internal error: %v", rec)}
+			}
+		}()
 		if span := spanOf(r.Context()); span != nil {
 			span.queueWait = time.Since(enqueuedAt)
 		}

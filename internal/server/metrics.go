@@ -30,6 +30,10 @@ type metricsRegistry struct {
 	latCount map[string]uint64
 
 	shed atomic.Uint64
+	// panics counts handler panics recovered by the queue workers;
+	// anything non-zero is a bug, surfaced on /metrics so load
+	// harnesses can assert on it.
+	panics atomic.Uint64
 }
 
 type reqKey struct {
@@ -168,6 +172,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b.WriteString("# HELP veriopt_requests_shed_total Requests shed with 429 because the work queue was full.\n")
 	b.WriteString("# TYPE veriopt_requests_shed_total counter\n")
 	fmt.Fprintf(&b, "veriopt_requests_shed_total %d\n", s.metrics.shed.Load())
+
+	b.WriteString("# HELP veriopt_panics_total Handler panics recovered by queue workers (any value > 0 is a bug).\n")
+	b.WriteString("# TYPE veriopt_panics_total counter\n")
+	fmt.Fprintf(&b, "veriopt_panics_total %d\n", s.metrics.panics.Load())
 
 	b.WriteString("# HELP veriopt_queue_depth Queued-but-unstarted jobs.\n")
 	b.WriteString("# TYPE veriopt_queue_depth gauge\n")

@@ -47,7 +47,7 @@ import (
 
 // Version identifies the serving build on /healthz. It tracks the PR
 // sequence growing this repo, not an external release scheme.
-const Version = "0.8.0"
+const Version = "0.9.0"
 
 // Defaults for the zero Config.
 const (
@@ -55,6 +55,10 @@ const (
 	DefaultGracePeriod = 10 * time.Second
 	DefaultMaxBody     = 1 << 20
 	DefaultRetryAfter  = 1 * time.Second
+	// DefaultMaxTimeout caps client-supplied timeout_ms: without a cap
+	// a huge value silently defeats the operator's DefaultTimeout and
+	// pins a worker for as long as the client likes.
+	DefaultMaxTimeout = 2 * time.Minute
 	// DefaultEvalMaxN bounds the per-request corpus size of
 	// /v1/evaluate (corpus generation and evaluation are the service's
 	// most expensive operations).
@@ -81,6 +85,11 @@ type Config struct {
 	// request carries no timeout_ms (0 = none). The deadline covers
 	// queue wait plus execution.
 	DefaultTimeout time.Duration
+	// MaxTimeout caps client-supplied timeout_ms (<= 0 selects
+	// DefaultMaxTimeout): requests asking for more are clamped, and a
+	// negative timeout_ms is rejected with 400 rather than silently
+	// ignored.
+	MaxTimeout time.Duration
 	// GracePeriod bounds the drain after shutdown begins (<= 0
 	// selects DefaultGracePeriod).
 	GracePeriod time.Duration
@@ -175,6 +184,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultMaxTimeout
 	}
 	if cfg.EvalMaxN <= 0 {
 		cfg.EvalMaxN = DefaultEvalMaxN

@@ -421,3 +421,121 @@ func TestEvaluateEndpoint(t *testing.T) {
 	}
 	drain(t, cancel, errc)
 }
+
+// TestTimeoutClampAndNegativeReject pins the honest-deadline
+// semantics: a huge client timeout_ms cannot defeat the operator's
+// MaxTimeout ceiling, and a negative one is a 400 client error rather
+// than a silent no-op.
+func TestTimeoutClampAndNegativeReject(t *testing.T) {
+	blocking := oracle.Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+		<-ctx.Done()
+		return alive.CanceledResult(ctx.Err())
+	})
+	_, base, cancel, errc := start(t, Config{Workers: 2, Oracle: blocking, MaxTimeout: 150 * time.Millisecond})
+	client := &http.Client{}
+
+	// An hour-long client deadline must be clamped to MaxTimeout.
+	t0 := time.Now()
+	code, body, _ := postJSON(t, client, base+"/v1/verify",
+		VerifyRequest{Src: srcAddZero, Tgt: tgtAddZero, TimeoutMs: 3600_000})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if !vr.Canceled {
+		t.Fatalf("response = %+v, want canceled (clamped deadline must trip)", vr)
+	}
+	if elapsed := time.Since(t0); elapsed > 10*time.Second {
+		t.Fatalf("clamp did not apply: request took %v", elapsed)
+	}
+
+	// Negative timeout_ms is rejected before queueing.
+	code, body, _ = postJSON(t, client, base+"/v1/verify",
+		VerifyRequest{Src: srcAddZero, Tgt: tgtAddZero, TimeoutMs: -5})
+	if code != http.StatusBadRequest {
+		t.Fatalf("negative timeout status = %d, body %s, want 400", code, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, "timeout_ms") {
+		t.Fatalf("error %q does not name timeout_ms", er.Error)
+	}
+	drain(t, cancel, errc)
+}
+
+// TestDefaultTimeoutAlsoClamped: a misconfigured DefaultTimeout above
+// MaxTimeout is clamped the same way client deadlines are.
+func TestDefaultTimeoutAlsoClamped(t *testing.T) {
+	blocking := oracle.Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+		<-ctx.Done()
+		return alive.CanceledResult(ctx.Err())
+	})
+	_, base, cancel, errc := start(t, Config{
+		Workers: 2, Oracle: blocking,
+		DefaultTimeout: time.Hour, MaxTimeout: 150 * time.Millisecond,
+	})
+	t0 := time.Now()
+	code, body, _ := postJSON(t, &http.Client{}, base+"/v1/verify",
+		VerifyRequest{Src: srcAddZero, Tgt: tgtAddZero})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if !vr.Canceled {
+		t.Fatalf("response = %+v, want canceled", vr)
+	}
+	if elapsed := time.Since(t0); elapsed > 10*time.Second {
+		t.Fatalf("default-timeout clamp did not apply: took %v", elapsed)
+	}
+	drain(t, cancel, errc)
+}
+
+// TestPanicRecovery: a panicking handler answers 500, increments
+// veriopt_panics_total, and leaves the worker pool alive — the
+// process must keep serving afterwards (the malformed-IR load mix's
+// zero-panics SLO depends on this containment).
+func TestPanicRecovery(t *testing.T) {
+	panicking := oracle.Func(func(ctx context.Context, src, tgt *ir.Function, opts alive.Options) alive.Result {
+		panic("injected failure")
+	})
+	_, base, cancel, errc := start(t, Config{Workers: 2, Oracle: panicking})
+	client := &http.Client{}
+
+	code, body, _ := postJSON(t, client, base+"/v1/verify",
+		VerifyRequest{Src: srcAddZero, Tgt: tgtAddZero})
+	if code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, body %s, want 500", code, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, "injected failure") {
+		t.Fatalf("error %q does not carry the panic value", er.Error)
+	}
+
+	// The worker survived: the server still answers.
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("server dead after panic: %v", err)
+	}
+	resp.Body.Close()
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(blob), "veriopt_panics_total 1") {
+		t.Fatalf("metrics missing veriopt_panics_total 1:\n%s", blob)
+	}
+	drain(t, cancel, errc)
+}
